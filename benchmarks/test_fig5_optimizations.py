@@ -1,0 +1,149 @@
+"""Fig. 5 — the searcher's optimization techniques, quantified.
+
+Reproduces the content of the paper's optimization illustration as an
+ablation: the full searcher versus variants with individual fix families
+disabled (no faster-adder substitution, no retiming, no column split,
+no register merging), swept over a tightening frequency target.  The
+claims:
+
+* every technique extends the feasible frequency range or improves the
+  result quality somewhere in the sweep;
+* the full searcher dominates each ablation (it never loses feasibility
+  the ablation had).
+"""
+
+import pytest
+
+from repro.compiler.report import format_table
+from repro.search.algorithm import MSOSearcher
+from repro.search.fixes import MAC_FIXES, MERGE_MOVES, OFU_FIXES, TUNING_MOVES
+from repro.spec import INT4, INT8, MacroSpec
+
+FREQUENCIES = (400.0, 600.0, 800.0, 900.0)
+
+
+def _spec(freq):
+    return MacroSpec(
+        height=64,
+        width=64,
+        mcr=2,
+        input_formats=(INT4, INT8),
+        weight_formats=(INT4, INT8),
+        mac_frequency_mhz=freq,
+    )
+
+
+def _without(moves, banned):
+    return tuple((n, m) for n, m in moves if n not in banned)
+
+
+VARIANTS = {
+    "full": {},
+    "no faster adders": {
+        "mac_fixes": _without(MAC_FIXES, {"faster_adder"}),
+        "ofu_fixes": _without(OFU_FIXES, {"ofu_faster_adder"}),
+    },
+    "no retiming": {
+        "mac_fixes": _without(MAC_FIXES, {"tree_register"}),
+        "ofu_fixes": _without(OFU_FIXES, {"ofu_retime"}),
+    },
+    "no column split": {"mac_fixes": _without(MAC_FIXES, {"column_split"})},
+    "no register merge": {"merge_moves": ()},
+    "no ofu pipeline": {"ofu_fixes": _without(OFU_FIXES, {"ofu_pipeline"})},
+}
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_optimization_ablation(benchmark, scl, save_result):
+    rows = []
+    feasible = {}
+    best_power = {}
+    for name, overrides in VARIANTS.items():
+        searcher = MSOSearcher(scl, **overrides)
+        for freq in FREQUENCIES:
+            result = searcher.search(_spec(freq))
+            ok = bool(result.frontier)
+            feasible[(name, freq)] = ok
+            best_power[(name, freq)] = (
+                min(e.power_mw for e in result.frontier) if ok else None
+            )
+            rows.append(
+                [
+                    name,
+                    int(freq),
+                    "yes" if ok else "no",
+                    round(best_power[(name, freq)], 1) if ok else "-",
+                    len(result.frontier),
+                    sum(result.fix_counts.values()),
+                ]
+            )
+
+    table = format_table(
+        ["searcher", "freq_mhz", "feasible", "best_mw", "frontier", "fixes"],
+        rows,
+    )
+    save_result("fig5_optimization_ablation", table)
+
+    # The full searcher is feasible wherever any ablation is.
+    for name in VARIANTS:
+        for freq in FREQUENCIES:
+            if feasible[(name, freq)]:
+                assert feasible[("full", freq)], (name, freq)
+    # At the tightest target, at least one ablation loses something the
+    # full searcher keeps (coverage or power quality).
+    tight = FREQUENCIES[-1]
+    degraded = []
+    for name in VARIANTS:
+        if name == "full":
+            continue
+        if not feasible[(name, tight)]:
+            degraded.append(name)
+        elif (
+            best_power[(name, tight)] is not None
+            and best_power[("full", tight)] is not None
+            and best_power[(name, tight)]
+            > best_power[("full", tight)] + 1e-9
+        ):
+            degraded.append(name)
+    assert degraded, "ablations should cost something at tight timing"
+
+    benchmark(lambda: MSOSearcher(scl).search(_spec(800.0)))
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_fix_application_counts(benchmark, scl, save_result):
+    """Which fixes fire as the constraint tightens (the arrows of
+    Fig. 5)."""
+    rows = []
+    for freq in FREQUENCIES:
+        result = MSOSearcher(scl).search(_spec(freq))
+        counts = result.fix_counts
+        rows.append(
+            [
+                int(freq),
+                counts.get("faster_adder", 0),
+                counts.get("ofu_faster_adder", 0),
+                counts.get("ofu_retime", 0),
+                counts.get("ofu_pipeline", 0),
+                counts.get("column_split", 0),
+                counts.get("merge_tree_register", 0)
+                + counts.get("merge_sna_register", 0),
+            ]
+        )
+    table = format_table(
+        [
+            "freq_mhz",
+            "faster_adder",
+            "ofu_fast_adder",
+            "retime",
+            "pipeline",
+            "col_split",
+            "reg_merge",
+        ],
+        rows,
+    )
+    save_result("fig5_fix_counts", table)
+    # Harder targets need at least as many total repairs.
+    totals = [sum(r[1:6]) for r in rows]
+    assert totals[-1] >= totals[0]
+    benchmark(lambda: MSOSearcher(scl).search(_spec(600.0)))

@@ -1,0 +1,155 @@
+"""Table II — measured comparison with state-of-the-art DCIM macros.
+
+Measurement conditions from the paper: INT4, 12.5% input sparsity, 50%
+weight sparsity, 25 C; the test chip reports 1921 TOPS/W and 80.5
+TOPS/mm^2 scaled to 1b-1b.  This bench measures our compiled macro under
+the same conventions — sparse activity propagated through the signoff
+power analysis, 0.7 V low-power operating point, 1b-1b normalization —
+and tabulates it against the published comparands.
+
+Absolute parity with silicon is out of scope for an analytical 40 nm
+model; the asserted shape is (a) the sparsity/voltage conventions move
+the headline number by the order of magnitude the paper exploits, and
+(b) the normalized comparison reproduces Table II's orderings between
+the published rows (advanced nodes on top, compiled 28 nm macro at the
+bottom).
+"""
+
+import pytest
+
+from repro.baselines.manual import SOTA_MACROS
+from repro.compiler.report import format_table
+from repro.sim.shmoo import measure_efficiency
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_sota_comparison(
+    benchmark, testchip_implementation, process, save_result
+):
+    impl = testchip_implementation.implementation
+    # The fixture compiled with the Table II sparsity already applied to
+    # the activity analysis (12.5% ones on inputs, 50% zero weights).
+    energy_sparse = impl.power.energy_per_cycle_pj
+    leakage = impl.power.leakage_mw
+    crit = impl.min_period_ns
+    area = impl.area_um2
+
+    ours = measure_efficiency(
+        energy_per_mac_cycle_pj=energy_sparse,
+        leakage_mw=leakage,
+        critical_path_ns=crit,
+        area_um2=area,
+        process=process,
+        vdd=0.7,
+        height=64,
+        width=64,
+        input_bits=4,
+        weight_bits=4,
+    )
+    dense_ref = measure_efficiency(
+        energy_per_mac_cycle_pj=energy_sparse / 0.4375,  # undo (1-s_i)(1-s_w)
+        leakage_mw=leakage,
+        critical_path_ns=crit,
+        area_um2=area,
+        process=process,
+        vdd=0.9,
+        height=64,
+        width=64,
+        input_bits=4,
+        weight_bits=4,
+    )
+
+    rows = []
+    for m in SOTA_MACROS:
+        rows.append(
+            [
+                m.name,
+                f"{m.node_nm}nm",
+                m.precision,
+                round(m.tops_per_watt, 1),
+                round(m.tops_per_mm2, 1),
+                round(m.tops_per_watt_1b, 0),
+                round(m.tops_per_mm2_1b, 0),
+            ]
+        )
+    rows.append(
+        [
+            "SynDCIM chip (paper)",
+            "40nm",
+            "INT4 sparse",
+            1921.0,
+            "-",
+            "-",
+            80.5 * 1.0,
+        ]
+    )
+    rows.append(
+        [
+            "this repo @0.7V sparse",
+            "40nm*",
+            "INT4 sparse",
+            round(ours.tops_per_watt, 1),
+            round(ours.tops_per_mm2, 2),
+            round(ours.tops_per_watt_1b, 0),
+            round(ours.tops_per_mm2_1b, 1),
+        ]
+    )
+    rows.append(
+        [
+            "this repo @0.9V dense",
+            "40nm*",
+            "INT4",
+            round(dense_ref.tops_per_watt, 1),
+            round(dense_ref.tops_per_mm2, 2),
+            round(dense_ref.tops_per_watt_1b, 0),
+            round(dense_ref.tops_per_mm2_1b, 1),
+        ]
+    )
+    table = format_table(
+        [
+            "design",
+            "node",
+            "precision",
+            "TOPS/W",
+            "TOPS/mm2",
+            "1b TOPS/W",
+            "1b TOPS/mm2",
+        ],
+        rows,
+    )
+    save_result("table2_sota_comparison", table)
+
+    # (a) the measurement conventions carry the headline: sparse + low
+    # voltage buys a large multiple over dense nominal operation.
+    boost = ours.tops_per_watt / dense_ref.tops_per_watt
+    assert boost > 2.5, boost
+
+    # (b) published-row orderings of Table II (1b-normalized).
+    by_name = {m.name: m for m in SOTA_MACROS}
+    assert (
+        by_name["TSMC ISSCC'23"].tops_per_watt_1b
+        > by_name["TSMC ISSCC'22"].tops_per_watt_1b
+        > by_name["TSMC ISSCC'21"].tops_per_watt_1b
+        > by_name["AutoDCIM DAC'23"].tops_per_watt_1b
+    )
+    # (c) magnitude plausibility: the analytical 40 nm substrate is
+    # pessimistic versus silicon (wire and clock energy dominate; see
+    # EXPERIMENTS.md), so only the order of magnitude is asserted.
+    assert ours.tops_per_watt > 3.0
+    assert ours.tops_per_mm2 > 0.5
+    assert ours.tops_per_watt_1b > 50.0
+
+    benchmark(
+        lambda: measure_efficiency(
+            energy_per_mac_cycle_pj=energy_sparse,
+            leakage_mw=leakage,
+            critical_path_ns=crit,
+            area_um2=area,
+            process=process,
+            vdd=0.7,
+            height=64,
+            width=64,
+            input_bits=4,
+            weight_bits=4,
+        )
+    )

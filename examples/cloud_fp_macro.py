@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Cloud/LLM scenario: a throughput-first macro with FP8 activations.
+
+Language-model serving wants raw frequency and FP numerics.  This
+example compiles a performance-biased macro supporting FP8 (E4M3)
+activations and weights at an aggressive clock, then runs an FP8
+attention-style projection through the behavioural model, comparing
+against float references to show the alignment-unit quantization
+behaviour end to end.
+
+Run:  python examples/cloud_fp_macro.py
+"""
+
+import numpy as np
+
+from repro import MacroSpec, SynDCIM
+from repro.sim.functional import DCIMMacroModel
+from repro.spec import FP8, INT8, PPAWeights
+
+
+def main() -> None:
+    spec = MacroSpec(
+        height=64,
+        width=64,
+        mcr=2,
+        input_formats=(INT8, FP8),
+        weight_formats=(INT8, FP8),
+        mac_frequency_mhz=850.0,
+        ppa=PPAWeights(power=1.0, performance=4.0, area=1.0),
+    )
+    compiler = SynDCIM()
+    compiled = compiler.compile(spec)
+    impl = compiled.implementation
+    assert impl is not None
+    print(f"throughput-first macro: {compiled.selected.arch.knob_summary()}")
+    print(impl.report())
+    print(
+        f"\npost-layout fmax {impl.max_frequency_mhz:.0f} MHz vs "
+        f"target {spec.mac_frequency_mhz:.0f} MHz"
+    )
+
+    # --- FP8 projection: y = W x with E4M3 operands -------------------------
+    rng = np.random.default_rng(1)
+    model = DCIMMacroModel(spec, compiled.selected.arch)
+    n_out = model.n_groups
+    w = rng.normal(0, 0.35, size=(spec.height, n_out))
+    model.set_weights_fp(0, w.tolist(), FP8)
+
+    rel_errors = []
+    for _ in range(24):
+        x = rng.normal(0, 0.8, size=spec.height)
+        got = np.array(model.mac_fp(x, FP8))
+        ref = x @ w
+        denom = np.maximum(np.abs(ref), 1e-2)
+        rel_errors.append(np.abs(got - ref) / denom)
+    rel = np.concatenate(rel_errors)
+    print(
+        f"\nFP8 projection vs float reference over {rel.size} outputs: "
+        f"median rel. error {np.median(rel):.3f}, "
+        f"p95 {np.quantile(rel, 0.95):.3f}"
+    )
+    print(
+        "  (group alignment shares one exponent across 64 lanes: "
+        "operands far below the group max lose mantissa bits — the "
+        "documented accuracy cost of alignment-based FP DCIM)"
+    )
+    assert np.median(rel) < 0.35, "alignment datapath out of spec"
+
+    # --- serving throughput --------------------------------------------------
+    k = FP8.serial_bits
+    vectors_per_s = impl.max_frequency_mhz * 1e6 / k
+    gmacs = vectors_per_s * spec.height * n_out / 1e9
+    print(
+        f"throughput: {vectors_per_s / 1e6:.1f} M input vectors/s "
+        f"({gmacs:.1f} GMAC/s FP8) from one macro"
+    )
+
+
+if __name__ == "__main__":
+    main()

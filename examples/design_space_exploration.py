@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Design-space exploration: sweep specs, compare searched frontiers
+against the template-compiler baseline, and visualize trade-offs.
+
+Uses only the search layer (no layouts), so a full sweep over array
+sizes, MCR values and frequency targets finishes in seconds — the
+workflow an architect would run before committing to implementation.
+
+Run:  python examples/design_space_exploration.py
+"""
+
+from repro.baselines.autodcim import AutoDCIMCompiler
+from repro.compiler.report import format_pareto_ascii, format_table
+from repro.scl.library import default_scl
+from repro.search.algorithm import MSOSearcher
+from repro.search.pareto import hypervolume_2d
+from repro.spec import INT4, INT8, MacroSpec
+
+
+def main() -> None:
+    scl = default_scl()
+    searcher = MSOSearcher(scl)
+    template = AutoDCIMCompiler(scl)
+
+    # --- sweep 1: frequency vs feasibility -----------------------------------
+    rows = []
+    for freq in (300, 500, 700, 800, 900, 1000):
+        spec = MacroSpec(
+            height=64,
+            width=64,
+            mcr=2,
+            input_formats=(INT4, INT8),
+            weight_formats=(INT4, INT8),
+            mac_frequency_mhz=float(freq),
+        )
+        res = searcher.search(spec)
+        auto = template.compile(spec)
+        best = min((e.power_mw for e in res.frontier), default=None)
+        rows.append(
+            [
+                freq,
+                "yes" if res.frontier else "no",
+                "yes" if auto.meets_timing else "no",
+                round(best, 1) if best else "-",
+                len(res.frontier),
+            ]
+        )
+    print("frequency sweep (64x64, MCR=2):")
+    print(
+        format_table(
+            ["MHz", "SynDCIM ok", "template ok", "best mW", "frontier"],
+            rows,
+        )
+    )
+
+    # --- sweep 2: array size at fixed 800 MHz ------------------------------
+    rows = []
+    for dim in (32, 64, 128):
+        spec = MacroSpec(
+            height=dim,
+            width=dim,
+            mcr=2,
+            input_formats=(INT4, INT8),
+            weight_formats=(INT4, INT8),
+            mac_frequency_mhz=800.0,
+        )
+        res = searcher.search(spec)
+        if not res.frontier:
+            rows.append([f"{dim}x{dim}", "infeasible", "-", "-"])
+            continue
+        pick = res.select()
+        rows.append(
+            [
+                f"{dim}x{dim}",
+                round(pick.power_mw, 1),
+                round(pick.area_um2 / 1e6, 4),
+                round(pick.tops_per_watt, 2),
+            ]
+        )
+    print("\narray-size sweep @800 MHz:")
+    print(format_table(["macro", "power mW", "area mm^2", "TOPS/W"], rows))
+
+    # --- frontier visualization + hypervolume --------------------------------
+    spec = MacroSpec(
+        height=64,
+        width=64,
+        mcr=2,
+        input_formats=(INT4, INT8),
+        weight_formats=(INT4, INT8),
+        mac_frequency_mhz=700.0,
+    )
+    res = searcher.search(spec)
+    pts = [(e.area_um2 / 1e6, e.power_mw, 0) for e in res.candidates]
+    front = [(e.area_um2 / 1e6, e.power_mw, 1) for e in res.frontier]
+    print("\ncandidates (o) and frontier (*) @700 MHz:")
+    print(format_pareto_ascii(pts + front, "area [mm^2]", "power [mW]"))
+    ref = (
+        max(p[0] for p in pts) * 1.1,
+        max(p[1] for p in pts) * 1.1,
+    )
+    hv = hypervolume_2d([(p[0], p[1]) for p in front], ref)
+    print(f"\nfrontier hypervolume vs reference {ref}: {hv:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Edge-vision scenario: an energy-first INT4/INT8 macro running a real
+quantized convolution workload.
+
+The paper motivates DCIM with divergent application needs — wearable
+and mobile vision accelerators want maximum TOPS/W at moderate
+frequency.  This example:
+
+1. compiles an energy-biased 64x64 macro at 500 MHz;
+2. quantizes a small convolution layer (im2col'd to matrix-vector
+   products) to INT8 and loads it into the behavioural macro model with
+   the *same* weight-packing the silicon would use;
+3. streams an input feature map through the bit-serial MAC datapath and
+   verifies the outputs against a NumPy reference, exactly;
+4. reports the achieved efficiency under the measured activity.
+
+Run:  python examples/edge_vision_macro.py
+"""
+
+import numpy as np
+
+from repro import MacroSpec, SynDCIM
+from repro.sim.functional import DCIMMacroModel
+from repro.spec import INT4, INT8, PPAWeights
+
+
+def quantize_int8(x: np.ndarray, scale: float) -> np.ndarray:
+    return np.clip(np.round(x / scale), -128, 127).astype(np.int64)
+
+
+def main() -> None:
+    spec = MacroSpec(
+        height=64,
+        width=64,
+        mcr=2,
+        input_formats=(INT4, INT8),
+        weight_formats=(INT4, INT8),
+        mac_frequency_mhz=500.0,
+        ppa=PPAWeights(power=4.0, performance=1.0, area=1.0),
+    )
+    compiler = SynDCIM()
+    compiled = compiler.compile(spec, input_sparsity=0.4)
+    impl = compiled.implementation
+    assert impl is not None
+    print(f"energy-first macro: {compiled.selected.arch.knob_summary()}")
+    print(impl.report())
+
+    # --- a 3x3x... conv layer as matrix-vector products -------------------
+    rng = np.random.default_rng(0)
+    k = 64  # im2col contraction depth = macro height
+    n_out = spec.width // spec.max_weight_bits  # output words per pass
+    conv_w = rng.normal(0, 0.4, size=(k, n_out))
+    w_scale = float(np.abs(conv_w).max() / 100.0)
+    w_q = quantize_int8(conv_w, w_scale)
+
+    model = DCIMMacroModel(spec, compiled.selected.arch)
+    model.set_weights_int(0, w_q, INT8)
+
+    n_pixels = 16
+    ok = 0
+    relu_zeros = 0
+    for _ in range(n_pixels):
+        patch = rng.normal(0, 0.5, size=k)
+        x_scale = float(np.abs(patch).max() / 120.0 + 1e-9)
+        x_q = quantize_int8(patch, x_scale)
+        got = model.mac_cycles([int(v) for v in x_q])
+        ref = (x_q @ w_q).tolist()
+        assert got == ref, "bit-serial datapath must match NumPy exactly"
+        ok += 1
+        relu_zeros += sum(1 for v in got if v <= 0)
+    print(
+        f"\nconvolution check: {ok}/{n_pixels} pixels bit-exact "
+        f"({relu_zeros} post-ReLU zeros -> natural sparsity for the "
+        f"next layer)"
+    )
+
+    # --- efficiency under the workload's activity --------------------------
+    e_cycle = impl.power.energy_per_cycle_pj
+    k_bits = spec.input_width
+    macs_per_pass = spec.height * n_out
+    energy_per_pass_pj = e_cycle * k_bits
+    pj_per_mac = energy_per_pass_pj / macs_per_pass
+    tops_w = 2.0 / (pj_per_mac * 1e-12) / 1e12
+    print(
+        f"\nworkload efficiency: {pj_per_mac:.3f} pJ/MAC "
+        f"-> {tops_w:.2f} TOPS/W (INT8, 40% input sparsity, "
+        f"{impl.power.frequency_mhz:.0f} MHz)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""SynDCIM reproduction: a performance-aware digital computing-in-memory
+(DCIM) compiler with multi-spec-oriented subcircuit synthesis.
+
+Reproduces *SynDCIM* (DATE 2025, arXiv:2411.16806) as a pure-Python
+library: from a :class:`~repro.spec.MacroSpec` the compiler searches a
+subcircuit library, synthesizes Pareto-optimal macro candidates, and
+implements the selected one through synthesis, structured-data-path
+placement, routing estimation and signoff-style timing/power analysis.
+
+Quickstart::
+
+    from repro import MacroSpec, SynDCIM
+
+    spec = MacroSpec(height=64, width=64, mcr=2, mac_frequency_mhz=800.0)
+    compiler = SynDCIM()
+    result = compiler.compile(spec)
+    print(result.report())
+"""
+
+from .spec import (
+    BF16,
+    FP4,
+    FP8,
+    INT1,
+    INT2,
+    INT4,
+    INT8,
+    DataFormat,
+    MacroSpec,
+    PPAWeights,
+    parse_format,
+    spec_from_strings,
+)
+from .arch import MacroArchitecture, architecture_space, default_architecture
+from .errors import (
+    LayoutError,
+    LibraryError,
+    SearchError,
+    SimulationError,
+    SpecificationError,
+    SynDCIMError,
+    SynthesisError,
+    TimingError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BF16",
+    "FP4",
+    "FP8",
+    "INT1",
+    "INT2",
+    "INT4",
+    "INT8",
+    "DataFormat",
+    "MacroSpec",
+    "PPAWeights",
+    "parse_format",
+    "spec_from_strings",
+    "MacroArchitecture",
+    "architecture_space",
+    "default_architecture",
+    "LayoutError",
+    "LibraryError",
+    "SearchError",
+    "SimulationError",
+    "SpecificationError",
+    "SynDCIMError",
+    "SynthesisError",
+    "TimingError",
+    "__version__",
+]
+
+
+def __getattr__(name: str):
+    """Lazy re-exports that would otherwise create import cycles."""
+    if name == "SynDCIM":
+        from .compiler.syndcim import SynDCIM
+
+        return SynDCIM
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,182 @@
+"""Macro architecture description — the searcher's decision variables.
+
+A :class:`MacroArchitecture` pins down every discrete implementation
+choice the multi-spec-oriented searcher can make for a given
+:class:`~repro.spec.MacroSpec`: which memory cell, which
+multiplier/multiplexer style, which adder-tree family and FA/compressor
+mix, whether columns are split, where pipeline registers sit, and how
+strongly the word lines are driven.  The RTL generators consume an
+architecture and emit netlists; the subcircuit library prices one
+without building it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+from .errors import SpecificationError
+from .spec import MacroSpec
+
+#: Memory-cell options (paper Section II.B "Memory Cell").
+MEMCELLS = ("DCIM6T", "DCIM8T", "DCIM12T", "RRAM_HYB")
+#: Multiplier/multiplexer options (paper Section II.B, three styles).
+MULT_STYLES = ("tg_nor", "oai22", "pg_1t")
+#: Adder-tree families (paper Section III.B / Fig. 4).
+TREE_STYLES = ("rca", "cmp42", "mixed")
+#: WL driver strengths available in the library.
+DRIVER_STRENGTHS = (2, 4, 8)
+
+
+@dataclass(frozen=True)
+class MacroArchitecture:
+    """One fully-specified implementation point for a macro.
+
+    Attributes
+    ----------
+    memcell:
+        Bitcell used for the compute rows (storage banks always use the
+        compact ``SRAM6T``).
+    mult_style:
+        ``tg_nor`` (transmission gate + NOR), ``oai22`` (fused, MCR<=2
+        only) or ``pg_1t`` (1T passing gate).
+    tree_style / tree_fa_levels / carry_reorder:
+        Adder-tree family; for ``mixed``, the number of final reduction
+        levels implemented with full adders instead of 4-2 compressors;
+        whether late-arriving bits are steered to fast compressor ports.
+    column_split:
+        1 (no split), 2 or 4 — splits each column's accumulation into
+        ``column_split`` sub-trees with a registered combiner (the
+        searcher's big hammer for timing).
+    reg_after_tree / reg_after_sna:
+        Pipeline registers between adder tree and S&A, and between S&A
+        and OFU.  The searcher removes them when the merged path still
+        meets timing (paper Fig. 5 "merge registers").
+    ofu_pipeline:
+        Extra pipeline stages inside the OFU (0, 1 or 2).
+    ofu_retimed:
+        Whether OFU front-end combinational logic was retimed into the
+        S&A stage.
+    ofu_csel:
+        Use carry-select adders in the OFU fusion stages (the SCL's
+        "faster adder" for the output path): shorter carry chains at an
+        area/power premium.
+    driver_strength:
+        BUF_X drive (2/4/8) of the word-line drivers.
+    """
+
+    memcell: str = "DCIM6T"
+    mult_style: str = "tg_nor"
+    tree_style: str = "mixed"
+    tree_fa_levels: int = 0
+    carry_reorder: bool = True
+    column_split: int = 1
+    reg_after_tree: bool = True
+    reg_after_sna: bool = True
+    ofu_pipeline: int = 0
+    ofu_retimed: bool = False
+    ofu_csel: bool = False
+    driver_strength: int = 4
+
+    def __post_init__(self) -> None:
+        if self.memcell not in MEMCELLS:
+            raise SpecificationError(f"unknown memcell {self.memcell!r}")
+        if self.mult_style not in MULT_STYLES:
+            raise SpecificationError(f"unknown mult style {self.mult_style!r}")
+        if self.tree_style not in TREE_STYLES:
+            raise SpecificationError(f"unknown tree style {self.tree_style!r}")
+        if self.tree_fa_levels < 0:
+            raise SpecificationError("tree_fa_levels must be >= 0")
+        if self.tree_style != "mixed" and self.tree_fa_levels:
+            raise SpecificationError("tree_fa_levels only meaningful for 'mixed'")
+        if self.column_split not in (1, 2, 4):
+            raise SpecificationError("column_split must be 1, 2 or 4")
+        if self.ofu_pipeline not in (0, 1, 2):
+            raise SpecificationError("ofu_pipeline must be 0, 1 or 2")
+        if self.driver_strength not in DRIVER_STRENGTHS:
+            raise SpecificationError(
+                f"driver_strength must be one of {DRIVER_STRENGTHS}"
+            )
+
+    def validate_against(self, spec: MacroSpec) -> None:
+        """Check architecture/spec compatibility (e.g. OAI22 MCR limit)."""
+        if self.mult_style == "oai22" and spec.mcr > 2:
+            raise SpecificationError(
+                "OAI22 fused multiplier-multiplexer does not scale beyond MCR=2"
+            )
+        if self.column_split > 1 and spec.height // self.column_split < 4:
+            raise SpecificationError(
+                f"column_split {self.column_split} leaves sub-trees below 4 rows"
+            )
+
+    def subtree_inputs(self, spec: MacroSpec) -> int:
+        """Rows accumulated by each sub-tree after column splitting."""
+        return spec.height // self.column_split
+
+    def tree_levels(self, spec: MacroSpec) -> int:
+        """Carry-save reduction levels for the (possibly split) tree."""
+        n = self.subtree_inputs(spec)
+        if self.tree_style == "rca":
+            return max(1, math.ceil(math.log2(n)))
+        levels = 0
+        while n > 2:
+            n = math.ceil(n / 2)  # a 4-2 compressor level halves the rows
+            levels += 1
+        return max(1, levels)
+
+    def replace(self, **changes: object) -> "MacroArchitecture":
+        return dataclasses.replace(self, **changes)
+
+    def knob_summary(self) -> str:
+        parts = [
+            self.memcell,
+            self.mult_style,
+            self.tree_style
+            + (f"-fa{self.tree_fa_levels}" if self.tree_style == "mixed" else ""),
+            "reord" if self.carry_reorder else "noreord",
+            f"split{self.column_split}",
+            f"regs{int(self.reg_after_tree)}{int(self.reg_after_sna)}",
+            f"ofu{self.ofu_pipeline}{'r' if self.ofu_retimed else ''}"
+            + ("c" if self.ofu_csel else ""),
+            f"drv{self.driver_strength}",
+        ]
+        return "/".join(parts)
+
+
+def default_architecture(spec: MacroSpec) -> MacroArchitecture:
+    """The template-assembly starting point (what AutoDCIM would build)."""
+    arch = MacroArchitecture()
+    arch.validate_against(spec)
+    return arch
+
+
+def architecture_space(spec: MacroSpec) -> Tuple[MacroArchitecture, ...]:
+    """Enumerate the full discrete design space valid for ``spec``.
+
+    The searcher does not brute-force this set (it walks Algorithm 1's
+    heuristic moves), but baselines and ablations sample from it and
+    tests use it to validate space construction.
+    """
+    points = []
+    for memcell in MEMCELLS:
+        for mult in MULT_STYLES:
+            if mult == "oai22" and spec.mcr > 2:
+                continue
+            for style in TREE_STYLES:
+                fa_options = (0,) if style != "mixed" else (0, 1, 2, 3)
+                for fa in fa_options:
+                    for split in (1, 2, 4):
+                        if spec.height // split < 4:
+                            continue
+                        points.append(
+                            MacroArchitecture(
+                                memcell=memcell,
+                                mult_style=mult,
+                                tree_style=style,
+                                tree_fa_levels=fa,
+                                column_split=split,
+                            )
+                        )
+    return tuple(points)

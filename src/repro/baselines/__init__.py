@@ -1,0 +1,16 @@
+"""Baseline compilers and published-macro models for the comparisons."""
+
+from .autodcim import AutoDCIMCompiler, AutoDCIMResult, template_architecture
+from .arctic import ArcticCompiler, ArcticResult
+from .manual import SOTA_MACROS, PublishedMacro, table2_rows
+
+__all__ = [
+    "AutoDCIMCompiler",
+    "AutoDCIMResult",
+    "template_architecture",
+    "ArcticCompiler",
+    "ArcticResult",
+    "SOTA_MACROS",
+    "PublishedMacro",
+    "table2_rows",
+]

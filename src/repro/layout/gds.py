@@ -1,0 +1,91 @@
+"""Layout-database export (GDS-like JSON stream).
+
+Real GDSII is a binary stream of structures and boundary records; this
+writer emits the same information as line-oriented JSON records — one
+header, one structure per cell master, one placement record per
+instance — which is trivially diffable and round-trippable in tests,
+and can be converted to true GDSII offline by any polygon tool.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterator, List, Tuple
+
+from ..errors import LayoutError
+from ..rtl.ir import Module
+from .sdp import Placement
+
+FORMAT_VERSION = 1
+#: Layer conventions (arbitrary but stable): cell outline, SRAM, label.
+LAYER_OUTLINE = 0
+LAYER_STDCELL = 10
+LAYER_SRAM = 20
+
+
+def write_gds_json(
+    module: Module,
+    placement: Placement,
+    library,
+    design_name: str = "",
+) -> str:
+    """Serialize the placed design; one JSON record per line."""
+    records: List[str] = []
+    records.append(
+        json.dumps(
+            {
+                "record": "HEADER",
+                "version": FORMAT_VERSION,
+                "design": design_name or module.name,
+                "units_um": 1.0,
+                "outline": [
+                    placement.outline.x0,
+                    placement.outline.y0,
+                    placement.outline.x1,
+                    placement.outline.y1,
+                ],
+            }
+        )
+    )
+    by_name = {inst.name: inst for inst in module.instances}
+    for name, rect in placement.cells.items():
+        inst = by_name.get(name)
+        if inst is None:
+            raise LayoutError(f"placed instance {name} missing from netlist")
+        cell = library.cell(inst.cell_name)
+        layer = LAYER_SRAM if cell.is_memory else LAYER_STDCELL
+        records.append(
+            json.dumps(
+                {
+                    "record": "SREF",
+                    "name": name,
+                    "cell": inst.cell_name,
+                    "layer": layer,
+                    "xy": [rect.x0, rect.y0, rect.x1, rect.y1],
+                }
+            )
+        )
+    records.append(json.dumps({"record": "ENDLIB", "cells": len(placement.cells)}))
+    return "\n".join(records) + "\n"
+
+
+def read_gds_json(text: str) -> Dict[str, object]:
+    """Parse the stream back: header dict plus instance records."""
+    lines = [ln for ln in text.splitlines() if ln.strip()]
+    if not lines:
+        raise LayoutError("empty GDS stream")
+    header = json.loads(lines[0])
+    if header.get("record") != "HEADER":
+        raise LayoutError("missing GDS header record")
+    instances = {}
+    end_seen = False
+    for line in lines[1:]:
+        rec = json.loads(line)
+        kind = rec.get("record")
+        if kind == "SREF":
+            instances[rec["name"]] = rec
+        elif kind == "ENDLIB":
+            end_seen = True
+    if not end_seen:
+        raise LayoutError("GDS stream not terminated with ENDLIB")
+    return {"header": header, "instances": instances}

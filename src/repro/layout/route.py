@@ -1,0 +1,101 @@
+"""Global-routing estimation: wirelength, wire loads, congestion.
+
+After SDP placement the router's job is summarized by three standard
+estimates:
+
+* per-net **half-perimeter wirelength** (HPWL) over the placed pin
+  positions (cell centers — adequate at the 1.8 um row scale);
+* per-net **wire capacitance** ``HPWL * c_wire``, the load handed to
+  post-layout STA and power;
+* **congestion**: demanded track length over available track length;
+  > 1.0 means the uniform routing the SDP style promises is not
+  achievable and the floorplan must grow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from ..errors import LayoutError
+from ..rtl.ir import Module
+from ..tech.process import Process
+from ..tech.stdcells import StdCellLibrary
+from .geometry import bounding_box
+from .sdp import Placement
+
+
+@dataclass(frozen=True)
+class RoutingEstimate:
+    """Routing summary for one placed design."""
+
+    total_wirelength_um: float
+    net_lengths_um: Dict[str, float]
+    net_caps_ff: Dict[str, float]
+    congestion: float
+    layers_assumed: int = 4
+
+    def wire_load_fn(self) -> Callable[[str], float]:
+        """Adapter for :func:`repro.sta.analysis.analyze` and the power
+        estimator: net name -> wire capacitance (fF)."""
+        caps = self.net_caps_ff
+
+        def load(net: str) -> float:
+            return caps.get(net, 0.0)
+
+        return load
+
+    def describe(self) -> str:
+        return (
+            f"wirelength {self.total_wirelength_um / 1e3:.1f} mm over "
+            f"{len(self.net_lengths_um)} nets, congestion "
+            f"{self.congestion:.2f}"
+        )
+
+
+def estimate_routing(
+    module: Module,
+    placement: Placement,
+    library: StdCellLibrary,
+    process: Process,
+) -> RoutingEstimate:
+    """HPWL-based routing estimate for a placed flat module."""
+    pin_positions: Dict[str, List[Tuple[float, float]]] = {}
+    for inst in module.instances:
+        rect = placement.cells.get(inst.name)
+        if rect is None:
+            raise LayoutError(f"instance {inst.name} missing from placement")
+        center = rect.center
+        for net in inst.conn.values():
+            pin_positions.setdefault(net, []).append(center)
+
+    net_lengths: Dict[str, float] = {}
+    net_caps: Dict[str, float] = {}
+    total = 0.0
+    for net, points in pin_positions.items():
+        if len(points) < 2:
+            net_lengths[net] = 0.0
+            net_caps[net] = 0.0
+            continue
+        box = bounding_box(points)
+        length = box.width + box.height
+        net_lengths[net] = length
+        net_caps[net] = process.wire_cap_ff(length)
+        total += length
+
+    # Track supply: `layers` horizontal+vertical layers at the routing
+    # pitch across the outline.
+    layers = 4
+    tracks_h = placement.outline.height / process.track_pitch_um
+    tracks_v = placement.outline.width / process.track_pitch_um
+    supply = (
+        tracks_h * placement.outline.width + tracks_v * placement.outline.height
+    ) * (layers / 2.0)
+    congestion = total / supply if supply > 0 else float("inf")
+    return RoutingEstimate(
+        total_wirelength_um=total,
+        net_lengths_um=net_lengths,
+        net_caps_ff=net_caps,
+        congestion=congestion,
+        layers_assumed=layers,
+    )

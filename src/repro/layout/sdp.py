@@ -1,0 +1,324 @@
+"""Structured-data-path (SDP) placement.
+
+The paper replaces free-form APR placement with a scalable SDP script
+for Cadence Innovus: SRAM cells go on a regular grid, "the gaps between
+SRAM columns" are filled with each column's adder/accumulator cells, and
+peripheral logic rings the array (Section III.D).  This module is that
+script's offline twin.  Given the flat *physical* macro netlist (array +
+digital core), it:
+
+1. partitions instances by their structural role, parsed from the
+   hierarchical names the generators emit (``array/cell_r{r}_c{c}``,
+   ``core/col{c}_...``, ``core/ofu{g}_...``, WL-driver cells at the core
+   top level);
+2. solves a small floorplan: outline area = cell area / utilization at a
+   target aspect ratio, a WL-driver strip on the left, an OFU/periphery
+   strip at the bottom, and ``W`` uniform column slots above it;
+3. places SRAM cells of column ``c`` as ``fold`` adjacent vertical
+   stacks inside slot ``c`` and shelf-packs the column's logic into the
+   remaining gap — the structured interleaving that keeps product wires
+   short and routing uniform.
+
+The result is a :class:`Placement` the router, DRC, LVS and GDS writer
+consume, plus per-net wire loads for post-layout STA/power.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import LayoutError
+from ..rtl.ir import Instance, Module
+from ..tech.stdcells import StdCellLibrary
+from .geometry import Rect
+
+_ARRAY_RE = re.compile(r"(?:^|/)cell_r(\d+)_c(\d+)$")
+_COL_RE = re.compile(r"(?:^|/)col(\d+)_")
+_OFU_RE = re.compile(r"(?:^|/)ofu(\d+)_")
+_WL_RE = re.compile(r"(?:^|/)(inreg|inv|buf|wldrv|wlpre)_\d+$")
+
+
+@dataclass
+class SDPParams:
+    """Placement knobs (the TCL script's variables)."""
+
+    utilization: float = 0.78
+    aspect: float = 1.85  # width / height, the paper macro's 455/246
+    row_height_um: float = 1.8
+    sram_row_height_um: float = 1.0
+    max_iterations: int = 8
+
+    def __post_init__(self) -> None:
+        if not 0.3 <= self.utilization <= 0.95:
+            raise LayoutError("utilization must be within [0.3, 0.95]")
+        if self.aspect <= 0:
+            raise LayoutError("aspect must be positive")
+
+
+@dataclass
+class Placement:
+    """Placed design: per-instance rectangles and region map."""
+
+    outline: Rect
+    cells: Dict[str, Rect]
+    regions: Dict[str, Rect]
+    utilization: float
+    fold: int
+    column_pitch_um: float
+
+    @property
+    def area_um2(self) -> float:
+        return self.outline.area
+
+    @property
+    def width_um(self) -> float:
+        return self.outline.width
+
+    @property
+    def height_um(self) -> float:
+        return self.outline.height
+
+    def position(self, instance: str) -> Tuple[float, float]:
+        try:
+            return self.cells[instance].center
+        except KeyError:
+            raise LayoutError(f"instance {instance!r} not placed") from None
+
+    def describe(self) -> str:
+        return (
+            f"outline {self.width_um:.1f} x {self.height_um:.1f} um "
+            f"({self.area_um2 / 1e6:.4f} mm^2), utilization "
+            f"{self.utilization:.2f}, fold {self.fold}, "
+            f"column pitch {self.column_pitch_um:.2f} um"
+        )
+
+
+@dataclass
+class _Partition:
+    array: Dict[Tuple[int, int], Instance] = field(default_factory=dict)
+    columns: Dict[int, List[Instance]] = field(default_factory=dict)
+    wl_driver: List[Instance] = field(default_factory=list)
+    periphery: List[Instance] = field(default_factory=list)
+
+
+def _partition(module: Module) -> _Partition:
+    part = _Partition()
+    for inst in module.instances:
+        m = _ARRAY_RE.search(inst.name)
+        if m:
+            part.array[(int(m.group(1)), int(m.group(2)))] = inst
+            continue
+        m = _COL_RE.search(inst.name)
+        if m:
+            part.columns.setdefault(int(m.group(1)), []).append(inst)
+            continue
+        if _WL_RE.search(inst.name):
+            part.wl_driver.append(inst)
+            continue
+        part.periphery.append(inst)
+    if not part.array:
+        raise LayoutError("no array cells found; place_macro needs the "
+                          "physical view (generate_macro_with_array)")
+    if not part.columns:
+        raise LayoutError("no column logic found in module")
+    return part
+
+
+def _shelf_pack(
+    instances: List[Instance],
+    library: StdCellLibrary,
+    region: Rect,
+    row_height: float,
+    placed: Dict[str, Rect],
+) -> bool:
+    """Left-to-right, bottom-to-top shelf packing.  Returns False when
+    the region overflows (caller grows the floorplan and retries)."""
+    x = region.x0
+    y = region.y0
+    for inst in instances:
+        cell = library.cell(inst.cell_name)
+        w = cell.width_um or cell.area_um2 / row_height
+        if w > region.width + 1e-9:
+            return False
+        if x + w > region.x1 + 1e-9:
+            x = region.x0
+            y += row_height
+        if y + row_height > region.y1 + 1e-6:
+            return False
+        placed[inst.name] = Rect(x, y, x + w, y + row_height)
+        x += w
+    return True
+
+
+def place_macro(
+    module: Module,
+    library: StdCellLibrary,
+    params: Optional[SDPParams] = None,
+) -> Placement:
+    """Run SDP placement on a flat physical macro module."""
+    params = params or SDPParams()
+    part = _partition(module)
+
+    n_rows = 1 + max(r for r, _ in part.array)
+    n_cols = 1 + max(c for _, c in part.array)
+    sram_cell = library.cell(next(iter(part.array.values())).cell_name)
+    sram_w = max(
+        library.cell(i.cell_name).width_um or 0.55 for i in part.array.values()
+    )
+    sram_h = params.sram_row_height_um
+
+    def area_of(instances: List[Instance]) -> float:
+        return sum(library.cell(i.cell_name).area_um2 for i in instances)
+
+    array_area = sum(
+        library.cell(i.cell_name).area_um2 for i in part.array.values()
+    )
+    col_areas = {c: area_of(insts) for c, insts in part.columns.items()}
+    wl_area = area_of(part.wl_driver)
+    peri_area = area_of(part.periphery)
+    total_cell_area = array_area + sum(col_areas.values()) + wl_area + peri_area
+
+    # A column slot must fit the SRAM stack plus the widest logic cell.
+    max_col_cell_w = max(
+        library.cell(i.cell_name).width_um or 1.0
+        for insts in part.columns.values()
+        for i in insts
+    )
+    row_h = params.row_height_um
+    worst_col_area = max(col_areas.values())
+    array_h = n_rows * sram_h + sram_h
+
+    # Scan gap widths: narrow gaps give a tall skinny macro (column
+    # logic binds), wide gaps a short fat one (array height binds).
+    # Keep the minimum-area floorplan that places cleanly — this is the
+    # area/aspect trade the SDP TCL script exposes as a variable.
+    best: Optional[Placement] = None
+    gap_lo = max_col_cell_w + 0.2
+    candidates = [gap_lo * f for f in (1.0, 1.25, 1.6, 2.0, 2.6, 3.4)]
+    for gap_w in candidates:
+        pitch = sram_w + 0.1 + gap_w
+        core_h = max(array_h, worst_col_area / (gap_w * 0.85))
+        width = n_cols * pitch + max(4.0, 0.02 * n_cols * pitch)
+        peri_h = peri_area / (width * 0.70) + 2 * row_h
+        height = core_h + peri_h + 2 * row_h
+        for attempt in range(params.max_iterations):
+            placement = _try_place(
+                part,
+                library,
+                params,
+                width,
+                height,
+                n_rows,
+                n_cols,
+                sram_w,
+                sram_h,
+                total_cell_area,
+            )
+            if placement is not None:
+                break
+            height *= 1.08
+        if placement is None:
+            continue
+        if best is None or placement.area_um2 < best.area_um2:
+            best = placement
+    if best is None:
+        raise LayoutError(
+            f"SDP placement failed to converge after scanning "
+            f"{len(candidates)} floorplans"
+        )
+    return best
+
+
+def _try_place(
+    part: _Partition,
+    library: StdCellLibrary,
+    params: SDPParams,
+    width: float,
+    height: float,
+    n_rows: int,
+    n_cols: int,
+    sram_w: float,
+    sram_h: float,
+    total_cell_area: float,
+) -> Optional[Placement]:
+    placed: Dict[str, Rect] = {}
+    row_h = params.row_height_um
+
+    # Bottom periphery strip (OFU, output regs, alignment, ties).
+    peri_area = sum(
+        library.cell(i.cell_name).area_um2 for i in part.periphery
+    )
+    peri_h = max(
+        row_h,
+        math.ceil(peri_area / max(width * 0.9, 1.0) / row_h) * row_h * 1.35,
+    )
+    # Left WL-driver strip.
+    core_h = height - peri_h
+    if core_h <= 4 * row_h:
+        return None
+    wl_area = sum(library.cell(i.cell_name).area_um2 for i in part.wl_driver)
+    wl_w = max(3.0, wl_area / max(core_h * 0.8, 1.0) * 1.3)
+
+    col_region_w = width - wl_w
+    pitch = col_region_w / n_cols
+
+    # Fold the SRAM stack so it fits the core height.
+    fold = max(1, math.ceil(n_rows * sram_h / core_h))
+    max_col_cell_w = max(
+        library.cell(i.cell_name).width_um or 1.0
+        for insts in part.columns.values()
+        for i in insts
+    )
+    if fold * sram_w + 0.1 + max_col_cell_w > pitch:
+        return None
+    stack_rows = math.ceil(n_rows / fold)
+
+    regions = {
+        "periphery": Rect(0.0, 0.0, width, peri_h),
+        "wl_driver": Rect(0.0, peri_h, wl_w, height),
+        "columns": Rect(wl_w, peri_h, width, height),
+    }
+
+    if not _shelf_pack(
+        part.periphery, library, regions["periphery"], row_h, placed
+    ):
+        return None
+    if not _shelf_pack(
+        part.wl_driver, library, regions["wl_driver"], row_h, placed
+    ):
+        return None
+
+    array_by_col: Dict[int, List[Tuple[int, Instance]]] = {}
+    for (r, c), inst in part.array.items():
+        array_by_col.setdefault(c, []).append((r, inst))
+
+    for col, insts in sorted(part.columns.items()):
+        x0 = wl_w + col * pitch
+        sram_x = x0
+        gap = Rect(x0 + fold * sram_w + 0.1, peri_h, x0 + pitch, height)
+        # SRAM stacks (SDP grid: exact positions, no packing).
+        for r, inst in array_by_col.get(col, ()):
+            stack = r // stack_rows
+            row_in_stack = r % stack_rows
+            cx = sram_x + stack * sram_w
+            cy = peri_h + row_in_stack * sram_h
+            if cy + sram_h > height + 1e-6:
+                return None
+            cell = library.cell(inst.cell_name)
+            w = min(cell.width_um or sram_w, sram_w)
+            placed[inst.name] = Rect(cx, cy, cx + w, cy + sram_h)
+        if not _shelf_pack(insts, library, gap, row_h, placed):
+            return None
+
+    outline = Rect(0.0, 0.0, width, height)
+    return Placement(
+        outline=outline,
+        cells=placed,
+        regions=regions,
+        utilization=total_cell_area / outline.area,
+        fold=fold,
+        column_pitch_um=pitch,
+    )

@@ -1,0 +1,21 @@
+"""Activity-based power estimation."""
+
+from .activity import (
+    CLOCK_DENSITY,
+    DEFAULT_DENSITY,
+    DEFAULT_PROBABILITY,
+    NetActivity,
+    propagate_activity,
+)
+from .estimator import PowerReport, estimate_power, sparsity_input_stats
+
+__all__ = [
+    "CLOCK_DENSITY",
+    "DEFAULT_DENSITY",
+    "DEFAULT_PROBABILITY",
+    "NetActivity",
+    "propagate_activity",
+    "PowerReport",
+    "estimate_power",
+    "sparsity_input_stats",
+]

@@ -1,0 +1,160 @@
+"""Dynamic and leakage power estimation.
+
+Combines the activity map with the capacitance and energy data of the
+cell library:
+
+* *net switching power* — ``0.5 * C_net * Vdd^2 * D(net) * f`` per net;
+* *cell internal power* — each output toggle spends the characterized
+  internal energy (short-circuit + internal node charge);
+* *memory read energy* — bitcell read events per cycle;
+* *leakage* — per-cell static power, voltage-derated through the
+  process model.
+
+Voltage scaling uses the process's CV^2 energy rule so one nominal-
+voltage analysis serves the whole shmoo sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from ..errors import SimulationError
+from ..rtl.ir import Module
+from ..sta.graph import WireLoadFn, net_capacitance
+from ..tech.process import Process
+from ..tech.stdcells import StdCellLibrary
+from .activity import NetActivity, propagate_activity
+
+
+@dataclass(frozen=True)
+class PowerReport:
+    """Breakdown of one power analysis run (mW at the analysis corner)."""
+
+    frequency_mhz: float
+    vdd: float
+    switching_mw: float
+    internal_mw: float
+    memory_mw: float
+    leakage_mw: float
+
+    @property
+    def dynamic_mw(self) -> float:
+        return self.switching_mw + self.internal_mw + self.memory_mw
+
+    @property
+    def total_mw(self) -> float:
+        return self.dynamic_mw + self.leakage_mw
+
+    @property
+    def energy_per_cycle_pj(self) -> float:
+        if self.frequency_mhz <= 0:
+            raise SimulationError("frequency must be positive")
+        return self.dynamic_mw / self.frequency_mhz * 1e3
+
+    def describe(self) -> str:
+        return (
+            f"power @{self.frequency_mhz:.0f} MHz, {self.vdd:.2f} V: "
+            f"total {self.total_mw:.3f} mW "
+            f"(net {self.switching_mw:.3f}, internal {self.internal_mw:.3f}, "
+            f"memory {self.memory_mw:.3f}, leak {self.leakage_mw:.3f})"
+        )
+
+
+def estimate_power(
+    module: Module,
+    library: StdCellLibrary,
+    process: Process,
+    frequency_mhz: float,
+    vdd: float = 0.0,
+    input_stats: Optional[Mapping[str, NetActivity]] = None,
+    wire_load: Optional[WireLoadFn] = None,
+    activity: Optional[Dict[str, NetActivity]] = None,
+) -> PowerReport:
+    """Estimate power of a flat module.
+
+    ``activity`` may be supplied to reuse a previous propagation (e.g.
+    when sweeping voltage); otherwise it is computed from
+    ``input_stats``.
+    """
+    if frequency_mhz <= 0:
+        raise SimulationError("frequency must be positive")
+    vdd = vdd or process.vdd_nominal
+    if activity is None:
+        activity = propagate_activity(module, library, input_stats)
+    loads = net_capacitance(module, library, wire_load)
+    e_scale = process.energy_scale(vdd)
+    l_scale = process.leakage_scale(vdd)
+
+    # Net switching: 0.5 C V^2 per transition; D counts transitions/cycle.
+    v_nom = process.vdd_nominal
+    switching_fj_per_cycle = 0.0
+    for net, cap in loads.items():
+        act = activity.get(net)
+        if act is None:
+            continue
+        switching_fj_per_cycle += 0.5 * cap * v_nom * v_nom * act.density
+
+    internal_fj_per_cycle = 0.0
+    memory_fj_per_cycle = 0.0
+    leakage_nw = 0.0
+    for inst in module.instances:
+        cell = library.cell(inst.cell_name)
+        leakage_nw += cell.leakage_nw
+        if cell.is_memory:
+            rd_net = inst.conn.get("RD")
+            wl_net = inst.conn.get("WL")
+            wl_act = activity.get(wl_net) if wl_net else None
+            reads = wl_act.density if wl_act else 0.0
+            memory_fj_per_cycle += cell.internal_energy_fj.get("RD", 0.0) * reads
+            continue
+        for out_pin, energy_fj in cell.internal_energy_fj.items():
+            net = inst.conn.get(out_pin)
+            if net is None:
+                continue
+            act = activity.get(net)
+            if act is None:
+                continue
+            internal_fj_per_cycle += energy_fj * act.density
+        if cell.is_sequential:
+            # Clock pin energy: the clock toggles twice per cycle into the
+            # register's clock cap even when Q is quiet.
+            ck_cap = cell.input_caps_ff.get(cell.clk_pin, 0.0)
+            internal_fj_per_cycle += 0.5 * ck_cap * v_nom * v_nom * 2.0
+
+    # fJ/cycle * MHz = nW; /1e6 -> mW.  Energy scales with (V/Vnom)^2.
+    to_mw = frequency_mhz * 1e-6 * e_scale
+    return PowerReport(
+        frequency_mhz=frequency_mhz,
+        vdd=vdd,
+        switching_mw=switching_fj_per_cycle * to_mw,
+        internal_mw=internal_fj_per_cycle * to_mw,
+        memory_mw=memory_fj_per_cycle * to_mw,
+        leakage_mw=leakage_nw * l_scale * 1e-6,
+    )
+
+
+def sparsity_input_stats(
+    module: Module,
+    input_density: float = 1.0,
+    input_one_probability: float = 0.5,
+    weight_one_probability: float = 0.5,
+) -> Dict[str, NetActivity]:
+    """Build port statistics for a DCIM workload.
+
+    ``input_density`` is the per-cycle toggle rate of the serial input
+    bits; sparse activations lower both the one-probability and the
+    density.  Weight nets (``wb``) are quasi-static during MAC bursts —
+    density 0 — but their one-probability still shapes the product
+    statistics (``wb`` carries complements, hence ``1 - p``).
+    """
+    stats: Dict[str, NetActivity] = {}
+    for net in module.input_ports:
+        if net.startswith("x["):
+            p = input_one_probability
+            stats[net] = NetActivity(p, min(input_density, 2 * p * (1 - p) + 1e-9))
+        elif net.startswith("wb["):
+            stats[net] = NetActivity(1.0 - weight_one_probability, 0.0)
+        elif net.startswith(("neg", "clear", "sub[", "sel[", "we")):
+            stats[net] = NetActivity(0.2, 0.25)
+    return stats

@@ -1,0 +1,28 @@
+"""RTL intermediate representation, Verilog emission and generators."""
+
+from .ir import (
+    CONST0,
+    CONST1,
+    Instance,
+    Module,
+    NetlistBuilder,
+    Port,
+    bus,
+    sign_extend,
+    zero_extend,
+)
+from .verilog import count_instances, emit_verilog
+
+__all__ = [
+    "CONST0",
+    "CONST1",
+    "Instance",
+    "Module",
+    "NetlistBuilder",
+    "Port",
+    "bus",
+    "sign_extend",
+    "zero_extend",
+    "count_instances",
+    "emit_verilog",
+]

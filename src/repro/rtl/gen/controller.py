@@ -1,0 +1,133 @@
+"""Macro sequencing controller generator.
+
+The generated macro consumes per-cycle control signals — ``neg``/
+``clear`` during the serial sign-bit cycle and the OFU ``sub`` pattern.
+On silicon these come from a small controller; this generator builds it
+as gates, with the architecture-dependent pipeline latencies baked in
+as constants (the compiler knows them from
+:func:`repro.rtl.gen.macro.macro_shape`).
+
+Behaviour (verified by gate-level simulation in the test suite):
+
+* ``start`` (one-cycle pulse) launches a MAC: an internal counter runs
+  ``0 .. total_cycles-1``;
+* ``neg``/``clear`` pulse exactly when the first serial bit's partial
+  count reaches the shift-adder (``prelatency`` cycles in);
+* ``feed`` is high for the ``input_bits`` cycles during which the input
+  registers must be fed serial data;
+* ``done`` pulses on the final cycle (outputs valid at the next edge);
+* ``sub[...]`` carries the static stage-1-subtract pattern.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ...errors import SynthesisError
+from ..ir import Module, NetlistBuilder
+
+
+def controller_constants(
+    prelatency: int, input_bits: int, total_cycles: int
+) -> Tuple[int, int]:
+    """(counter width, idle value) for the given schedule."""
+    if not 0 < prelatency < total_cycles:
+        raise SynthesisError("prelatency must fall inside the schedule")
+    if input_bits < 1 or total_cycles <= input_bits:
+        raise SynthesisError("total_cycles must exceed input_bits")
+    width = max(1, (total_cycles - 1).bit_length())
+    return width, 0
+
+
+def _equals_const(b: NetlistBuilder, bits: List[str], value: int) -> str:
+    """AND-tree equality against a constant."""
+    terms = []
+    for i, bit in enumerate(bits):
+        if (value >> i) & 1:
+            terms.append(bit)
+        else:
+            terms.append(b.inv(bit))
+    node = terms[0]
+    for t in terms[1:]:
+        node = b.and2(node, t)
+    return node
+
+
+def _less_than_const(b: NetlistBuilder, bits: List[str], value: int) -> str:
+    """``count < value`` for an unsigned counter (ripple borrow)."""
+    # count < value  <=>  NOT carry_out of (count + ~value + 1)
+    carry = b.const1()
+    for i, bit in enumerate(bits):
+        vb = (value >> i) & 1
+        vbar = b.const1() if not vb else b.const0()
+        s, carry = b.full_adder(bit, vbar, carry)
+        del s
+    return b.inv(carry)
+
+
+def generate_controller(
+    prelatency: int,
+    input_bits: int,
+    total_cycles: int,
+    sub_pattern: Optional[List[int]] = None,
+    name: Optional[str] = None,
+) -> Module:
+    """Build the sequencer.
+
+    Ports: ``start``, ``clk`` in; ``neg``, ``clear``, ``feed``, ``busy``,
+    ``done`` and ``sub[0..S-1]`` out.
+    """
+    width, _ = controller_constants(prelatency, input_bits, total_cycles)
+    sub_pattern = sub_pattern if sub_pattern is not None else [1]
+    b = NetlistBuilder(name or f"ctrl_p{prelatency}_k{input_bits}_t{total_cycles}")
+    start = b.inputs("start")[0]
+    clk = b.inputs("clk")[0]
+    neg = b.outputs("neg")[0]
+    clear = b.outputs("clear")[0]
+    feed = b.outputs("feed")[0]
+    busy_o = b.outputs("busy")[0]
+    done = b.outputs("done")[0]
+    sub = b.outputs("sub", len(sub_pattern))
+    b.module.set_clocks([clk])
+
+    # busy flop: set on start, cleared on the last cycle.
+    busy_q = b.net("busy_q")
+    count_q = [b.net("cnt_q") for _ in range(width)]
+    at_last = _equals_const(b, count_q, total_cycles - 1)
+    keep = b.and2(busy_q, b.inv(at_last))
+    busy_d = b.or2(start, keep)
+    b.module.add_instance("busy_reg", "DFF_X1", {"D": busy_d, "CK": clk, "Q": busy_q})
+
+    # counter: +1 while busy, held at zero otherwise.
+    carry = busy_q  # increment amount = busy
+    next_bits: List[str] = []
+    for i in range(width):
+        s, carry = b.half_adder(count_q[i], carry)
+        next_bits.append(b.and2(s, busy_d))
+    for i in range(width):
+        b.module.add_instance(
+            f"cnt_reg_{i}", "DFF_X1",
+            {"D": next_bits[i], "CK": clk, "Q": count_q[i]},
+        )
+
+    pulse = b.and2(_equals_const(b, count_q, prelatency), busy_q)
+    b.cell("BUF_X2", hint="negb", A=pulse, Y=neg)
+    b.cell("BUF_X2", hint="clrb", A=pulse, Y=clear)
+    feeding = b.and2(_less_than_const(b, count_q, input_bits), busy_q)
+    b.cell("BUF_X2", hint="feedb", A=feeding, Y=feed)
+    b.cell("BUF_X2", hint="busyb", A=busy_q, Y=busy_o)
+    b.cell("BUF_X2", hint="doneb", A=b.and2(at_last, busy_q), Y=done)
+    for i, v in enumerate(sub_pattern):
+        src = b.const1() if v else b.const0()
+        b.cell("BUF_X2", hint="subb", A=src, Y=sub[i])
+    return b.finish()
+
+
+def schedule_for(shape) -> Tuple[int, int, int]:
+    """Derive (prelatency, input_bits, total_cycles) from a
+    :class:`~repro.rtl.gen.macro.MacroShape`."""
+    return (
+        shape.prelatency_cycles,
+        shape.input_bits,
+        shape.latency_cycles,
+    )

@@ -1,0 +1,413 @@
+"""Structural RTL/netlist intermediate representation.
+
+The paper's flow produces "architecture RTL, subcircuit RTL and netlist"
+(Fig. 2).  This IR covers both levels with one set of classes:
+
+* a :class:`Module` owns scalar nets, ports and instances;
+* an :class:`Instance` references either a library cell (leaf) or
+  another :class:`Module` (hierarchy);
+* :meth:`Module.flatten` elaborates the hierarchy into a pure-leaf
+  netlist that synthesis, STA, power, layout and gate-level simulation
+  all consume.
+
+Nets are scalar; buses are name conventions (``name[i]``) produced by
+:func:`bus`.  A :class:`NetlistBuilder` provides the ergonomic layer the
+RTL generators use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..errors import SynthesisError
+from ..tech.stdcells import StdCellLibrary
+
+#: Name of the implicit constant-zero / constant-one nets.
+CONST0 = "tie0_net"
+CONST1 = "tie1_net"
+
+
+def bus(name: str, width: int, msb_first: bool = False) -> List[str]:
+    """Scalar net names for an indexed bus, LSB first by default."""
+    names = [f"{name}[{i}]" for i in range(width)]
+    return names[::-1] if msb_first else names
+
+
+@dataclass
+class Port:
+    """A module port bound to a net of the same name."""
+
+    name: str
+    direction: str  # "input" | "output"
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("input", "output"):
+            raise SynthesisError(f"bad port direction {self.direction!r}")
+
+
+@dataclass
+class Instance:
+    """An instantiation of a cell or submodule.
+
+    ``conn`` maps the referenced object's pin/port names to net names in
+    the parent module.
+    """
+
+    name: str
+    ref: Union[str, "Module"]
+    conn: Dict[str, str]
+
+    @property
+    def is_leaf(self) -> bool:
+        return isinstance(self.ref, str)
+
+    @property
+    def cell_name(self) -> str:
+        if not isinstance(self.ref, str):
+            raise SynthesisError(f"instance {self.name} is hierarchical")
+        return self.ref
+
+    @property
+    def module(self) -> "Module":
+        if isinstance(self.ref, str):
+            raise SynthesisError(f"instance {self.name} is a leaf")
+        return self.ref
+
+
+class Module:
+    """A netlist module: ports, nets and instances."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.ports: Dict[str, Port] = {}
+        self.nets: Dict[str, None] = {}  # insertion-ordered set
+        self.instances: List[Instance] = []
+        self.clock_nets: Tuple[str, ...] = ()
+        self._instance_names: Dict[str, None] = {}
+
+    # -- construction -----------------------------------------------------
+
+    def add_net(self, name: str) -> str:
+        self.nets.setdefault(name, None)
+        return name
+
+    def add_port(self, name: str, direction: str) -> str:
+        if name in self.ports:
+            if self.ports[name].direction != direction:
+                raise SynthesisError(
+                    f"{self.name}: port {name} redeclared with other direction"
+                )
+            return name
+        self.ports[name] = Port(name, direction)
+        self.add_net(name)
+        return name
+
+    def add_instance(
+        self, name: str, ref: Union[str, "Module"], conn: Mapping[str, str]
+    ) -> Instance:
+        if name in self._instance_names:
+            raise SynthesisError(f"{self.name}: duplicate instance {name}")
+        inst = Instance(name=name, ref=ref, conn=dict(conn))
+        for net in inst.conn.values():
+            self.add_net(net)
+        self.instances.append(inst)
+        self._instance_names[name] = None
+        return inst
+
+    def set_clocks(self, nets: Sequence[str]) -> None:
+        for n in nets:
+            self.add_net(n)
+        self.clock_nets = tuple(nets)
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def input_ports(self) -> Tuple[str, ...]:
+        return tuple(p.name for p in self.ports.values() if p.direction == "input")
+
+    @property
+    def output_ports(self) -> Tuple[str, ...]:
+        return tuple(p.name for p in self.ports.values() if p.direction == "output")
+
+    def leaf_count(self) -> int:
+        """Total leaf-instance count after full elaboration."""
+        total = 0
+        for inst in self.instances:
+            total += 1 if inst.is_leaf else inst.module.leaf_count()
+        return total
+
+    def net_drivers(
+        self, library: StdCellLibrary
+    ) -> Dict[str, Tuple[Instance, str]]:
+        """Map net -> (leaf instance, output pin) driving it.
+
+        Only valid on flat modules; raises on multiply-driven nets.
+        """
+        drivers: Dict[str, Tuple[Instance, str]] = {}
+        for inst in self.instances:
+            cell = library.cell(inst.cell_name)
+            for pin in cell.outputs:
+                net = inst.conn.get(pin)
+                if net is None:
+                    continue
+                if net in drivers:
+                    raise SynthesisError(
+                        f"{self.name}: net {net} multiply driven "
+                        f"({drivers[net][0].name} and {inst.name})"
+                    )
+                drivers[net] = (inst, pin)
+        return drivers
+
+    def net_loads(
+        self, library: StdCellLibrary
+    ) -> Dict[str, List[Tuple[Instance, str]]]:
+        """Map net -> list of (leaf instance, input pin) reading it."""
+        loads: Dict[str, List[Tuple[Instance, str]]] = {}
+        for inst in self.instances:
+            cell = library.cell(inst.cell_name)
+            for pin in cell.input_caps_ff:
+                net = inst.conn.get(pin)
+                if net is None:
+                    continue
+                loads.setdefault(net, []).append((inst, pin))
+        return loads
+
+    def cell_histogram(self, library: StdCellLibrary) -> Dict[str, int]:
+        """Leaf-cell usage counts (flat modules)."""
+        hist: Dict[str, int] = {}
+        for inst in self.instances:
+            hist[inst.cell_name] = hist.get(inst.cell_name, 0) + 1
+        return hist
+
+    def total_area_um2(self, library: StdCellLibrary) -> float:
+        return sum(
+            library.cell(inst.cell_name).area_um2 for inst in self.instances
+        )
+
+    # -- elaboration ----------------------------------------------------------
+
+    def flatten(self) -> "Module":
+        """Elaborate hierarchy into a flat leaf-only module.
+
+        Instance names become ``parent/child``; internal nets of
+        submodules become ``parent/net``.  Port connections splice child
+        port nets onto the parent nets they are bound to.
+        """
+        flat = Module(self.name)
+        for port in self.ports.values():
+            flat.add_port(port.name, port.direction)
+        for net in self.nets:
+            flat.add_net(net)
+        flat.set_clocks(self.clock_nets)
+        self._flatten_into(flat, prefix="", net_map={})
+        return flat
+
+    def _flatten_into(
+        self, flat: "Module", prefix: str, net_map: Dict[str, str]
+    ) -> None:
+        def resolve(net: str) -> str:
+            return net_map.get(net, f"{prefix}{net}" if prefix else net)
+
+        for inst in self.instances:
+            iname = f"{prefix}{inst.name}"
+            if inst.is_leaf:
+                flat.add_instance(
+                    iname,
+                    inst.ref,
+                    {pin: resolve(net) for pin, net in inst.conn.items()},
+                )
+            else:
+                child = inst.module
+                child_map: Dict[str, str] = {}
+                for port in child.ports.values():
+                    if port.name in inst.conn:
+                        child_map[port.name] = resolve(inst.conn[port.name])
+                child._flatten_into(flat, prefix=f"{iname}/", net_map=child_map)
+
+    def validate(self, library: StdCellLibrary) -> None:
+        """Structural sanity check on a flat module.
+
+        Confirms every leaf pin exists on its cell, every output port is
+        driven, and no net has multiple drivers.
+        """
+        drivers = self.net_drivers(library)
+        for inst in self.instances:
+            cell = library.cell(inst.cell_name)
+            valid_pins = set(cell.input_caps_ff) | set(cell.outputs)
+            for pin in inst.conn:
+                if pin not in valid_pins:
+                    raise SynthesisError(
+                        f"{self.name}: {inst.name} has no pin {pin!r} "
+                        f"on {cell.name}"
+                    )
+        undriven = [
+            p
+            for p in self.output_ports
+            if p not in drivers and p not in (CONST0, CONST1)
+        ]
+        if undriven:
+            raise SynthesisError(
+                f"{self.name}: undriven output ports {undriven[:8]}"
+            )
+
+
+class NetlistBuilder:
+    """Convenience wrapper the RTL generators use to assemble a module."""
+
+    def __init__(self, name: str) -> None:
+        self.module = Module(name)
+        self._auto = 0
+        self._const0_made = False
+        self._const1_made = False
+
+    # -- nets ----------------------------------------------------------------
+
+    def net(self, hint: str = "n") -> str:
+        self._auto += 1
+        return self.module.add_net(f"{hint}_{self._auto}")
+
+    def nets(self, hint: str, count: int) -> List[str]:
+        return [self.net(hint) for _ in range(count)]
+
+    def inputs(self, name: str, width: int = 0) -> List[str]:
+        if width == 0:
+            return [self.module.add_port(name, "input")]
+        return [self.module.add_port(n, "input") for n in bus(name, width)]
+
+    def outputs(self, name: str, width: int = 0) -> List[str]:
+        if width == 0:
+            return [self.module.add_port(name, "output")]
+        return [self.module.add_port(n, "output") for n in bus(name, width)]
+
+    def const0(self) -> str:
+        if not self._const0_made:
+            self.module.add_instance("tie0_cell", "TIE0", {"Y": CONST0})
+            self._const0_made = True
+        return CONST0
+
+    def const1(self) -> str:
+        if not self._const1_made:
+            self.module.add_instance("tie1_cell", "TIE1", {"Y": CONST1})
+            self._const1_made = True
+        return CONST1
+
+    # -- instances ---------------------------------------------------------
+
+    def cell(
+        self, cell_name: str, hint: str = "", **conn: str
+    ) -> Instance:
+        self._auto += 1
+        iname = f"{hint or cell_name.lower()}_{self._auto}"
+        return self.module.add_instance(iname, cell_name, conn)
+
+    def submodule(self, sub: Module, hint: str = "", **conn: str) -> Instance:
+        self._auto += 1
+        iname = f"{hint or sub.name}_{self._auto}"
+        return self.module.add_instance(iname, sub, conn)
+
+    # -- small logic helpers (return the output net) --------------------------
+
+    def unary(self, cell_name: str, a: str, hint: str = "") -> str:
+        y = self.net(hint or "y")
+        self.cell(cell_name, hint=hint, A=a, Y=y)
+        return y
+
+    def binary(self, cell_name: str, a: str, b: str, hint: str = "") -> str:
+        y = self.net(hint or "y")
+        self.cell(cell_name, hint=hint, A=a, B=b, Y=y)
+        return y
+
+    def inv(self, a: str) -> str:
+        return self.unary("INV_X1", a, hint="inv")
+
+    def and2(self, a: str, b: str) -> str:
+        return self.binary("AND2_X1", a, b, hint="and")
+
+    def or2(self, a: str, b: str) -> str:
+        return self.binary("OR2_X1", a, b, hint="or")
+
+    def xor2(self, a: str, b: str) -> str:
+        return self.binary("XOR2_X1", a, b, hint="xor")
+
+    def nand2(self, a: str, b: str) -> str:
+        return self.binary("NAND2_X1", a, b, hint="nand")
+
+    def nor2(self, a: str, b: str) -> str:
+        return self.binary("NOR2_X1", a, b, hint="nor")
+
+    def mux2(self, d0: str, d1: str, sel: str) -> str:
+        y = self.net("mux")
+        self.cell("MUX2_X1", hint="mux", D0=d0, D1=d1, S=sel, Y=y)
+        return y
+
+    def full_adder(self, a: str, b: str, ci: str) -> Tuple[str, str]:
+        s, co = self.net("fa_s"), self.net("fa_co")
+        self.cell("FA_X1", hint="fa", A=a, B=b, CI=ci, S=s, CO=co)
+        return s, co
+
+    def half_adder(self, a: str, b: str) -> Tuple[str, str]:
+        s, co = self.net("ha_s"), self.net("ha_co")
+        self.cell("HA_X1", hint="ha", A=a, B=b, S=s, CO=co)
+        return s, co
+
+    def dff(self, d: str, clk: str, hint: str = "dff") -> str:
+        q = self.net(f"{hint}_q")
+        self.cell("DFF_X1", hint=hint, D=d, CK=clk, Q=q)
+        return q
+
+    def dff_bus(self, data: Sequence[str], clk: str, hint: str = "reg") -> List[str]:
+        return [self.dff(d, clk, hint=hint) for d in data]
+
+    def buffer(self, a: str, strength: int = 4) -> str:
+        y = self.net("buf")
+        self.cell(f"BUF_X{strength}", hint="buf", A=a, Y=y)
+        return y
+
+    # -- word-level helpers -----------------------------------------------------
+
+    def ripple_adder(
+        self,
+        a: Sequence[str],
+        b: Sequence[str],
+        carry_in: Optional[str] = None,
+        hint: str = "rca",
+    ) -> List[str]:
+        """Signed (two's complement) ripple-carry adder.
+
+        Both operands must be equal width; returns ``width + 1`` sum bits
+        with the extra MSB from sign extension.
+        """
+        if len(a) != len(b):
+            raise SynthesisError("ripple_adder operands must match in width")
+        width = len(a)
+        a_ext = list(a) + [a[-1]]
+        b_ext = list(b) + [b[-1]]
+        sums: List[str] = []
+        carry = carry_in
+        for i in range(width + 1):
+            if carry is None:
+                s, carry = self.half_adder(a_ext[i], b_ext[i])
+            else:
+                s, carry = self.full_adder(a_ext[i], b_ext[i], carry)
+            sums.append(s)
+        return sums
+
+    def finish(self) -> Module:
+        return self.module
+
+
+def sign_extend(builder: NetlistBuilder, word: Sequence[str], width: int) -> List[str]:
+    """Pad a two's-complement word to ``width`` bits by repeating the MSB."""
+    if len(word) > width:
+        raise SynthesisError(f"cannot extend width {len(word)} to {width}")
+    return list(word) + [word[-1]] * (width - len(word))
+
+
+def zero_extend(
+    builder: NetlistBuilder, word: Sequence[str], width: int
+) -> List[str]:
+    """Pad an unsigned word to ``width`` bits with constant zeros."""
+    if len(word) > width:
+        raise SynthesisError(f"cannot extend width {len(word)} to {width}")
+    return list(word) + [builder.const0()] * (width - len(word))

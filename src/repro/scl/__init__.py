@@ -1,0 +1,18 @@
+"""Subcircuit library (SCL): PPA lookup tables over topology, dimension
+and timing-relevant variants."""
+
+from .lut import PPARecord, PPATable, interpolate_records
+from .library import KINDS, SubcircuitLibrary, default_scl
+from .builder import build_default_scl, characterize_module, tree_variant
+
+__all__ = [
+    "PPARecord",
+    "PPATable",
+    "interpolate_records",
+    "KINDS",
+    "SubcircuitLibrary",
+    "default_scl",
+    "build_default_scl",
+    "characterize_module",
+    "tree_variant",
+]

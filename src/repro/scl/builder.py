@@ -1,0 +1,263 @@
+"""Subcircuit-library builder: the characterization flow of Fig. 3.
+
+For every subcircuit kind the builder runs the same loop the paper
+describes — *generate the netlist, synthesize (flatten), time it, power
+it, measure it* — over a grid of topology variants and dimensions, and
+files the resulting :class:`~repro.scl.lut.PPARecord` into the library's
+LUTs.  Dimensions between grid points are interpolated at lookup time.
+
+The characterized kinds and their primary dimensions:
+
+==============  ======================  =============================
+kind            variant                 dimension
+==============  ======================  =============================
+adder_tree      style-faN-reorder       number of summed rows
+mult_mux        tg_nor/oai22/pg_1t      MCR
+shift_adder     k<input_bits>           tree (adder-tree output) width
+ofu             c<columns>              S&A word width
+fuse_stage      s<shift>                input word width
+wl_driver       drv<strength>           array width (wordline load)
+bl_driver       drv<strength>           array rows (bitline load)
+alignment       <format name>           lanes
+memcell         cell name               (per-cell record)
+==============  ======================  =============================
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional, Tuple
+
+from ..errors import LibraryError
+from ..power.estimator import estimate_power
+from ..rtl.gen.addertree import generate_adder_tree
+from ..rtl.gen.alignment import generate_alignment_unit
+from ..rtl.gen.drivers import generate_bl_driver, generate_wl_driver
+from ..rtl.gen.multiplier import generate_mult_mux
+from ..rtl.gen.ofu import OFUConfig, generate_fuse_stage, generate_ofu
+from ..rtl.gen.shiftadder import generate_shift_adder
+from ..rtl.ir import Module
+from ..spec import BF16, FP4, FP8, DataFormat
+from ..sta.analysis import minimum_period_ns
+from ..tech.process import GENERIC_40NM, Process
+from ..tech.stdcells import StdCellLibrary, default_library
+from .library import SubcircuitLibrary
+from .lut import PPARecord
+
+#: Characterization grids (kept modest: the LUT interpolates between).
+TREE_SIZES = (8, 16, 32, 64, 128, 256)
+TREE_STYLES: Tuple[Tuple[str, int], ...] = (
+    ("rca", 0),
+    ("cmp42", 0),
+    ("mixed", 1),
+    ("mixed", 2),
+    ("mixed", 3),
+)
+MCR_VALUES = (1, 2, 4, 8)
+SA_INPUT_BITS = (2, 3, 4, 5, 8, 9, 12, 16)
+SA_TREE_WIDTHS = (3, 4, 5, 6, 7, 8, 9)
+OFU_COLUMNS = (2, 4, 8, 16)
+OFU_WIDTHS = (8, 12, 16, 20, 24)
+FUSE_SHIFTS = (1, 2, 4, 8)
+FUSE_WIDTHS = (8, 12, 16, 20, 24, 30)
+DRIVER_STRENGTHS = (2, 4, 8)
+DRIVER_DIMS = (16, 32, 64, 128, 256)
+ALIGN_FORMATS = (FP4, FP8, BF16)
+ALIGN_LANES = (8, 16, 32, 64)
+MEMCELLS = ("DCIM6T", "DCIM8T", "DCIM12T", "RRAM_HYB", "SRAM6T")
+
+#: Reference frequency used to convert power to per-cycle energy.
+CHAR_FREQUENCY_MHZ = 1000.0
+
+
+#: Workload-representative port statistics used during characterization
+#: (prefix -> (one-probability, transition density)).  Product bits of a
+#: half-sparse MAC toggle far less than the 0.5/0.5 default; weights are
+#: quasi-static.  Keeping these in one table makes the SCL numbers agree
+#: with full-macro power analysis under the same workload.
+CHAR_PORT_STATS: Tuple[Tuple[str, Tuple[float, float]], ...] = (
+    ("in[", (0.25, 0.25)),       # adder-tree product inputs
+    ("xb", (0.5, 0.5)),          # serial input complements
+    ("wb", (0.5, 0.0)),          # stored weights: static during MAC
+    ("sel", (0.5, 0.0)),
+    ("t[", (0.4, 0.35)),         # tree sums into the S&A
+    ("a", (0.5, 0.35)),          # S&A words into the OFU
+    ("lo[", (0.5, 0.35)),
+    ("hi[", (0.5, 0.35)),
+    ("sub", (0.2, 0.0)),
+    ("neg", (0.2, 0.25)),
+    ("clear", (0.2, 0.25)),
+    ("we", (0.9, 0.05)),
+    ("x[", (0.5, 0.5)),
+    ("d[", (0.5, 0.25)),
+    ("fp", (0.5, 0.5)),
+)
+
+
+def _char_input_stats(module: Module):
+    from ..power.activity import NetActivity
+
+    stats = {}
+    for net in module.input_ports:
+        for prefix, (p, d) in CHAR_PORT_STATS:
+            if net.startswith(prefix):
+                stats[net] = NetActivity(p, d)
+                break
+    return stats
+
+
+def characterize_module(
+    module: Module,
+    library: StdCellLibrary,
+    process: Process,
+    stage_delays: Tuple[float, ...] = (),
+) -> PPARecord:
+    """Flatten + STA + power + area for one generated subcircuit."""
+    flat = module.flatten()
+    flat.validate(library)
+    delay = minimum_period_ns(flat, library)
+    power = estimate_power(
+        flat,
+        library,
+        process,
+        CHAR_FREQUENCY_MHZ,
+        input_stats=_char_input_stats(flat),
+    )
+    return PPARecord(
+        delay_ns=delay,
+        energy_pj=power.energy_per_cycle_pj,
+        area_um2=flat.total_area_um2(library),
+        leakage_mw=power.leakage_mw,
+        cells=flat.leaf_count(),
+        stage_delays_ns=stage_delays,
+    )
+
+
+def tree_variant(style: str, fa_levels: int, carry_reorder: bool) -> str:
+    if style == "mixed" and fa_levels == 0:
+        # Structurally identical: zero FA levels degenerates to the pure
+        # compressor tree.
+        style = "cmp42"
+    tag = "r" if carry_reorder else "n"
+    return f"{style}-fa{fa_levels}-{tag}"
+
+
+def build_default_scl(
+    library: Optional[StdCellLibrary] = None,
+    process: Optional[Process] = None,
+    tree_sizes: Iterable[int] = TREE_SIZES,
+    verbose: bool = False,
+) -> SubcircuitLibrary:
+    """Characterize the full default grid.  Takes a few seconds; callers
+    normally go through :func:`repro.scl.library.default_scl`, which
+    caches the result per process."""
+    library = library or default_library()
+    process = process or GENERIC_40NM
+    scl = SubcircuitLibrary(process=process, cell_library=library)
+
+    def log(msg: str) -> None:
+        if verbose:
+            print(f"[scl] {msg}")
+
+    # Adder trees.
+    for style, fa in TREE_STYLES:
+        for reorder in (True, False):
+            variant = tree_variant(style, fa, reorder)
+            for n in tree_sizes:
+                mod, _ = generate_adder_tree(n, style, fa, reorder)
+                rec = characterize_module(mod, library, process)
+                scl.table("adder_tree").add(variant, n, rec)
+            log(f"adder_tree {variant}")
+
+    # Multiplier/multiplexer rows (record is per row).
+    for style in ("tg_nor", "oai22", "pg_1t"):
+        for mcr in MCR_VALUES:
+            if style == "oai22" and mcr > 2:
+                continue
+            mod = generate_mult_mux(mcr, style)
+            rec = characterize_module(mod, library, process)
+            scl.table("mult_mux").add(style, mcr, rec)
+    log("mult_mux")
+
+    # Shift-and-add.
+    for k in SA_INPUT_BITS:
+        variant = f"k{k}"
+        for tw in SA_TREE_WIDTHS:
+            mod = generate_shift_adder(tw, k)
+            rec = characterize_module(mod, library, process)
+            scl.table("shift_adder").add(variant, tw, rec)
+    log("shift_adder")
+
+    # OFU (combinational, registers priced separately by the estimator)
+    # and standalone fusion stages for retiming arithmetic — both adder
+    # styles, so the searcher has a "faster adder" to reach for.
+    for style in ("ripple", "csel"):
+        tag = "rpl" if style == "ripple" else "csel"
+        for cols in OFU_COLUMNS:
+            variant = f"c{cols}-{tag}"
+            stages = cols.bit_length() - 1
+            for w in OFU_WIDTHS:
+                cfg = OFUConfig(columns=cols, input_width=w, adder_style=style)
+                mod = generate_ofu(cfg)
+                stage_delays = []
+                for s in range(1, stages + 1):
+                    sw = cfg.stage_width(s - 1)
+                    shift = 1 << (s - 1)
+                    smod = generate_fuse_stage(sw, shift, adder_style=style)
+                    srec = characterize_module(smod, library, process)
+                    stage_delays.append(srec.delay_ns)
+                rec = characterize_module(
+                    mod, library, process, stage_delays=tuple(stage_delays)
+                )
+                scl.table("ofu").add(variant, w, rec)
+            log(f"ofu c{cols}-{tag}")
+
+        for shift in FUSE_SHIFTS:
+            variant = f"s{shift}-{tag}"
+            for w in FUSE_WIDTHS:
+                mod = generate_fuse_stage(w, shift, adder_style=style)
+                rec = characterize_module(mod, library, process)
+                scl.table("fuse_stage").add(variant, w, rec)
+        log(f"fuse_stage {tag}")
+
+    # Drivers: characterized per 4 rows/cols, stored per unit.
+    unit = 4
+    for strength in DRIVER_STRENGTHS:
+        for width in DRIVER_DIMS:
+            wl_load = width * (0.25 + 1.05 * process.wire_cap_ff_per_um)
+            mod = generate_wl_driver(unit, wl_load, strength)
+            rec = characterize_module(mod, library, process).scaled(1.0 / unit)
+            scl.table("wl_driver").add(f"drv{strength}", width, rec)
+        for rows in DRIVER_DIMS:
+            bl_load = rows * (0.30 + 1.0 * process.wire_cap_ff_per_um)
+            mod = generate_bl_driver(unit, bl_load, strength)
+            rec = characterize_module(mod, library, process).scaled(1.0 / unit)
+            scl.table("bl_driver").add(f"drv{strength}", rows, rec)
+    log("drivers")
+
+    # FP/INT alignment units.
+    for fmt in ALIGN_FORMATS:
+        for lanes in ALIGN_LANES:
+            mod = generate_alignment_unit(fmt, lanes)
+            rec = characterize_module(mod, library, process)
+            scl.table("alignment").add(fmt.name, lanes, rec)
+        log(f"alignment {fmt.name}")
+
+    # Memory bitcells (closed-form, per cell).
+    for name in MEMCELLS:
+        cell = library.cell(name)
+        scl.table("memcell").add(
+            name,
+            1,
+            PPARecord(
+                delay_ns=cell.arcs[0].d0_ns,
+                energy_pj=cell.internal_energy_fj.get("RD", 0.2) * 1e-3,
+                area_um2=cell.area_um2,
+                leakage_mw=cell.leakage_nw * 1e-6,
+                cells=1,
+            ),
+        )
+    log("memcells")
+
+    scl.seal()
+    return scl

@@ -1,0 +1,89 @@
+"""The Subcircuit Library object and its process-wide cache."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..errors import LibraryError
+from ..tech.process import GENERIC_40NM, Process
+from ..tech.stdcells import StdCellLibrary, default_library
+from .lut import PPARecord, PPATable
+
+KINDS = (
+    "adder_tree",
+    "mult_mux",
+    "shift_adder",
+    "ofu",
+    "fuse_stage",
+    "wl_driver",
+    "bl_driver",
+    "alignment",
+    "memcell",
+)
+
+
+class SubcircuitLibrary:
+    """PPA lookup tables for all seven DCIM subcircuit types.
+
+    Built once per process by :func:`repro.scl.builder.build_default_scl`
+    and then queried (read-only once sealed) by the multi-spec-oriented
+    searcher and the baselines.
+    """
+
+    def __init__(self, process: Process, cell_library: StdCellLibrary) -> None:
+        self.process = process
+        self.cell_library = cell_library
+        self._tables: Dict[str, PPATable] = {k: PPATable(k) for k in KINDS}
+        self._sealed = False
+
+    def table(self, kind: str) -> PPATable:
+        try:
+            table = self._tables[kind]
+        except KeyError:
+            raise LibraryError(
+                f"unknown subcircuit kind {kind!r}; known: {KINDS}"
+            ) from None
+        if self._sealed:
+            return table
+        return table
+
+    def lookup(self, kind: str, variant: str, dim: int) -> PPARecord:
+        return self.table(kind).lookup(variant, dim)
+
+    def seal(self) -> None:
+        self._sealed = True
+
+    @property
+    def sealed(self) -> bool:
+        return self._sealed
+
+    def entry_count(self) -> int:
+        return sum(len(t) for t in self._tables.values())
+
+    def summary(self) -> str:
+        lines = [f"subcircuit library @ {self.process.name}:"]
+        for kind in KINDS:
+            t = self._tables[kind]
+            lines.append(
+                f"  {kind:12s} {len(t):4d} entries, "
+                f"variants: {', '.join(t.variants)}"
+            )
+        return "\n".join(lines)
+
+
+_CACHE: Dict[str, SubcircuitLibrary] = {}
+
+
+def default_scl(
+    process: Optional[Process] = None, verbose: bool = False
+) -> SubcircuitLibrary:
+    """Shared, lazily built SCL for the default cell library."""
+    from .builder import build_default_scl
+
+    process = process or GENERIC_40NM
+    key = process.name
+    if key not in _CACHE:
+        _CACHE[key] = build_default_scl(
+            default_library(), process, verbose=verbose
+        )
+    return _CACHE[key]

@@ -1,0 +1,305 @@
+"""Multi-spec-oriented (MSO) searcher — Algorithm 1 of the paper.
+
+Heuristic hierarchical search over the architectural design space:
+
+1. *Search-space definition* — seed architectures biased toward energy,
+   area, performance and robustness are derived from the specification
+   (:func:`seed_architectures`).
+2. *Timing repair* — for each seed, the MAC path is checked against the
+   target period and repaired with the escalation sequence: faster adder
+   from the SCL, carry reordering, stronger drivers, retiming (insert
+   the tree/S&A register), and finally column splitting; then the OFU
+   path with retiming and extra pipelining.
+3. *Register merging* — boundary registers are removed when the merged
+   combinational path still meets timing.
+4. *Fine tuning* — power/area-oriented substitutions are applied while
+   they keep timing and improve the candidate's weighted PPA score.
+
+Every feasible point visited is recorded; the result is the Pareto
+frontier over (power, area) at the met frequency, ready for user
+selection and implementation (paper Fig. 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..arch import MacroArchitecture
+from ..errors import SearchError
+from ..spec import MacroSpec, PPAWeights
+from ..scl.library import SubcircuitLibrary, default_scl
+from .estimate import MacroEstimate, estimate_macro
+from .fixes import MAC_FIXES, MERGE_MOVES, OFU_FIXES, TUNING_MOVES
+from .pareto import pareto_front
+
+#: Safety cap on repair iterations per seed.
+MAX_REPAIR_STEPS = 24
+
+
+@dataclass(frozen=True)
+class SearchTraceEntry:
+    seed: str
+    move: str
+    estimate: MacroEstimate
+
+
+@dataclass
+class SearchResult:
+    """Everything the searcher produced for one specification."""
+
+    spec: MacroSpec
+    candidates: List[MacroEstimate]
+    frontier: List[MacroEstimate]
+    trace: List[SearchTraceEntry] = field(default_factory=list)
+    fix_counts: Dict[str, int] = field(default_factory=dict)
+
+    def select(self, ppa: Optional[PPAWeights] = None) -> MacroEstimate:
+        """Pick the frontier point minimizing the weighted PPA score."""
+        weights = ppa or self.spec.ppa
+        if not self.frontier:
+            raise SearchError(
+                f"no feasible design for {self.spec.describe()}; "
+                "relax the frequency or grow the array"
+            )
+        return min(
+            self.frontier,
+            key=lambda e: weights.score(
+                e.power_mw, e.critical_path_ns, e.area_um2
+            ),
+        )
+
+    def describe(self) -> str:
+        lines = [
+            f"search for {self.spec.describe()}: "
+            f"{len(self.candidates)} feasible candidates, "
+            f"{len(self.frontier)} on the Pareto frontier"
+        ]
+        for est in self.frontier:
+            lines.append(f"  {est.describe()}")
+        return "\n".join(lines)
+
+
+def seed_architectures(spec: MacroSpec) -> List[Tuple[str, MacroArchitecture]]:
+    """Bias-diverse starting points derived from the specification."""
+    seeds: List[Tuple[str, MacroArchitecture]] = [
+        (
+            "energy",
+            MacroArchitecture(
+                tree_style="cmp42",
+                mult_style="tg_nor",
+                driver_strength=2,
+                reg_after_tree=True,
+                reg_after_sna=False,
+            ),
+        ),
+        (
+            "area",
+            MacroArchitecture(
+                tree_style="cmp42",
+                mult_style="pg_1t",
+                driver_strength=2,
+                reg_after_tree=False,
+                reg_after_sna=False,
+            ),
+        ),
+        (
+            "performance",
+            MacroArchitecture(
+                tree_style="mixed",
+                tree_fa_levels=2,
+                mult_style="tg_nor",
+                driver_strength=8,
+                reg_after_tree=True,
+                reg_after_sna=True,
+            ),
+        ),
+        (
+            "balanced",
+            MacroArchitecture(),
+        ),
+        (
+            "robust",
+            MacroArchitecture(memcell="DCIM8T", tree_style="cmp42"),
+        ),
+    ]
+    if spec.mcr <= 2:
+        seeds.append(
+            (
+                "fused",
+                MacroArchitecture(
+                    mult_style="oai22", tree_style="cmp42", driver_strength=2
+                ),
+            )
+        )
+    valid = []
+    for name, arch in seeds:
+        try:
+            arch.validate_against(spec)
+        except Exception:
+            continue
+        valid.append((name, arch))
+    return valid
+
+
+class MSOSearcher:
+    """The multi-spec-oriented searcher.
+
+    The fix families can be overridden (usually *restricted*) for
+    ablation studies — e.g. the Fig. 5 bench disables retiming or column
+    splitting to quantify each technique's contribution.
+    """
+
+    def __init__(
+        self,
+        scl: Optional[SubcircuitLibrary] = None,
+        mac_fixes=MAC_FIXES,
+        ofu_fixes=OFU_FIXES,
+        merge_moves=MERGE_MOVES,
+        tuning_moves=TUNING_MOVES,
+    ) -> None:
+        self._scl = scl
+        self.mac_fixes = tuple(mac_fixes)
+        self.ofu_fixes = tuple(ofu_fixes)
+        self.merge_moves = tuple(merge_moves)
+        self.tuning_moves = tuple(tuning_moves)
+
+    @property
+    def scl(self) -> SubcircuitLibrary:
+        if self._scl is None:
+            self._scl = default_scl()
+        return self._scl
+
+    # -- public API -----------------------------------------------------------
+
+    def search(self, spec: MacroSpec) -> SearchResult:
+        result = SearchResult(spec=spec, candidates=[], frontier=[])
+        seen: Dict[str, MacroEstimate] = {}
+
+        def record(seed: str, move: str, est: MacroEstimate) -> None:
+            result.trace.append(SearchTraceEntry(seed, move, est))
+            if move not in ("seed", "reject"):
+                result.fix_counts[move] = result.fix_counts.get(move, 0) + 1
+            if est.met:
+                key = est.arch.knob_summary()
+                if key not in seen:
+                    seen[key] = est
+                    result.candidates.append(est)
+
+        for seed_name, seed_arch in seed_architectures(spec):
+            est = self._estimate(spec, seed_arch)
+            record(seed_name, "seed", est)
+            est = self._repair_timing(spec, est, seed_name, record)
+            if est is None or not est.met:
+                continue
+            est = self._merge_registers(spec, est, seed_name, record)
+            self._fine_tune(spec, est, seed_name, record)
+
+        result.frontier = pareto_front(
+            result.candidates, lambda e: (e.power_mw, e.area_um2)
+        )
+        result.frontier.sort(key=lambda e: e.power_mw)
+        return result
+
+    # -- phases ---------------------------------------------------------------
+
+    def _estimate(
+        self, spec: MacroSpec, arch: MacroArchitecture
+    ) -> MacroEstimate:
+        return estimate_macro(spec, arch, self.scl)
+
+    def _repair_timing(
+        self, spec, est, seed_name, record
+    ) -> Optional[MacroEstimate]:
+        """Escalating MAC-path then OFU-path repair (paper Fig. 5)."""
+        for _ in range(MAX_REPAIR_STEPS):
+            if est.met:
+                return est
+            crit = est.critical_segment.name
+            fixes = self.ofu_fixes if crit.startswith("ofu") else self.mac_fixes
+            improved = None
+            for name, move in fixes:
+                candidate_arch = move(spec, est.arch)
+                if candidate_arch is None:
+                    continue
+                try:
+                    candidate = self._estimate(spec, candidate_arch)
+                except Exception:
+                    continue
+                if candidate.critical_path_ns < est.critical_path_ns - 1e-6:
+                    improved = (name, candidate)
+                    break
+            if improved is None:
+                # Cross-path fallback: try the other fix family once.
+                fallback = (
+                    self.mac_fixes if crit.startswith("ofu") else self.ofu_fixes
+                )
+                for name, move in fallback:
+                    candidate_arch = move(spec, est.arch)
+                    if candidate_arch is None:
+                        continue
+                    candidate = self._estimate(spec, candidate_arch)
+                    if candidate.critical_path_ns < est.critical_path_ns - 1e-6:
+                        improved = (name, candidate)
+                        break
+            if improved is None:
+                record(seed_name, "infeasible", est)
+                return None
+            name, est = improved
+            record(seed_name, name, est)
+        return est if est.met else None
+
+    def _merge_registers(self, spec, est, seed_name, record) -> MacroEstimate:
+        """Remove boundary registers while the merged path meets timing."""
+        changed = True
+        while changed:
+            changed = False
+            for name, move in self.merge_moves:
+                candidate_arch = move(spec, est.arch)
+                if candidate_arch is None:
+                    continue
+                candidate = self._estimate(spec, candidate_arch)
+                if candidate.met:
+                    est = candidate
+                    record(seed_name, name, est)
+                    changed = True
+        return est
+
+    def _fine_tune(self, spec, est, seed_name, record) -> MacroEstimate:
+        """Greedy power/area substitutions holding timing; records every
+        feasible intermediate as a candidate for the frontier."""
+        weights = spec.ppa
+        improved = True
+        steps = 0
+        while improved and steps < MAX_REPAIR_STEPS:
+            improved = False
+            steps += 1
+            base_score = weights.score(
+                est.power_mw, est.critical_path_ns, est.area_um2
+            )
+            for name, move in self.tuning_moves:
+                candidate_arch = move(spec, est.arch)
+                if candidate_arch is None:
+                    continue
+                try:
+                    candidate = self._estimate(spec, candidate_arch)
+                except Exception:
+                    continue
+                if not candidate.met:
+                    continue
+                record(seed_name, name, candidate)
+                score = weights.score(
+                    candidate.power_mw,
+                    candidate.critical_path_ns,
+                    candidate.area_um2,
+                )
+                if score < base_score - 1e-9:
+                    est = candidate
+                    improved = True
+                    break
+        return est
+
+
+def search(spec: MacroSpec, scl: Optional[SubcircuitLibrary] = None) -> SearchResult:
+    """Convenience one-shot search."""
+    return MSOSearcher(scl).search(spec)

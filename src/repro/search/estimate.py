@@ -1,0 +1,325 @@
+"""Architecture-level macro PPA estimation from the subcircuit library.
+
+This is the searcher's inner evaluation (paper Fig. 5 / Algorithm 1):
+given a (spec, architecture) pair it assembles the macro's
+register-to-register *timing segments* and its per-cycle energy and area
+from SCL lookups — no netlist is built.  The paper's flow works the same
+way: the heuristic search prices candidates from the LUTs, and only the
+chosen Pareto designs go through synthesis/APR where real STA and power
+confirm the numbers.
+
+Segment topology (mirrors :mod:`repro.rtl.gen.macro`):
+
+``inreg -> WL buffer + bitcell read + multiplier + (sub)tree``
+then, depending on the pipeline knobs, the combiner / S&A / OFU stages
+split into further segments.  Each assembled combinational segment gets
+the clocking overhead (launch clock-to-Q + capture setup) added once.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..arch import MacroArchitecture
+from ..errors import SearchError
+from ..spec import DataFormat, MacroSpec
+from ..scl.builder import tree_variant
+from ..scl.library import SubcircuitLibrary
+
+#: Launch clock-to-Q + capture setup of the library DFF (ns).
+CLOCK_OVERHEAD_NS = 0.085 + 0.045
+#: Pre-layout to post-layout delay derating: the SCL is characterized
+#: with a statistical wire-load model; SDP placement adds broadcast and
+#: inter-region wires.  Calibrated against implemented 64x64 macros.
+WIRE_DERATE = 1.18
+#: Post-layout energy derating: routed wire capacitance and the clock
+#: network roughly double the cell-intrinsic switching energy the SCL
+#: records capture.  Calibrated the same way.
+ENERGY_DERATE = 2.2
+#: Per-bit register energy (pJ/cycle): internal + clock-pin switching.
+DFF_ENERGY_PJ = (2.2 * 0.5 + 0.5 * 0.9 * 0.81 * 2.0) * 1e-3
+DFF_AREA_UM2 = 4.6
+DFF_LEAK_MW = 6.0 * 1e-6
+#: Duty cycle assumed for the weight-update (BL) path during MAC bursts.
+BL_WRITE_DUTY = 1.0 / 16.0
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One register-to-register timing segment."""
+
+    name: str
+    delay_ns: float
+
+
+@dataclass(frozen=True)
+class MacroEstimate:
+    """LUT-based PPA estimate of one macro architecture."""
+
+    spec: MacroSpec
+    arch: MacroArchitecture
+    segments: Tuple[Segment, ...]
+    area_um2: float
+    energy_per_cycle_pj: float
+    leakage_mw: float
+    mode_input: DataFormat
+    mode_weight: DataFormat
+
+    @property
+    def critical_path_ns(self) -> float:
+        return max(s.delay_ns for s in self.segments)
+
+    @property
+    def critical_segment(self) -> Segment:
+        return max(self.segments, key=lambda s: s.delay_ns)
+
+    @property
+    def met(self) -> bool:
+        return self.critical_path_ns <= self.spec.mac_period_ns + 1e-9
+
+    @property
+    def slack_ns(self) -> float:
+        return self.spec.mac_period_ns - self.critical_path_ns
+
+    @property
+    def power_mw(self) -> float:
+        dynamic = (
+            self.energy_per_cycle_pj * self.spec.mac_frequency_mhz * 1e-3
+        )
+        return dynamic + self.leakage_mw
+
+    @property
+    def macs_per_cycle(self) -> float:
+        """MACs retired per cycle in the estimate's precision mode,
+        amortized over the serial phases (native packing: weights occupy
+        the next power-of-two column group, as the OFU fuses pairwise)."""
+        k = self.mode_input.serial_bits
+        wb = 2
+        while wb < self.mode_weight.storage_bits:
+            wb *= 2
+        words = self.spec.width / wb
+        return self.spec.height * words / k
+
+    @property
+    def tops(self) -> float:
+        return 2.0 * self.macs_per_cycle * self.spec.mac_frequency_mhz * 1e-6
+
+    @property
+    def tops_per_watt(self) -> float:
+        return self.tops / (self.power_mw * 1e-3)
+
+    @property
+    def tops_per_mm2(self) -> float:
+        return self.tops / (self.area_um2 * 1e-6)
+
+    def describe(self) -> str:
+        segs = ", ".join(f"{s.name}={s.delay_ns:.3f}" for s in self.segments)
+        return (
+            f"{self.arch.knob_summary()}: crit {self.critical_path_ns:.3f} ns "
+            f"({'MET' if self.met else 'VIOLATED'}), {self.power_mw:.1f} mW, "
+            f"{self.area_um2 / 1e6:.4f} mm^2 [{segs}]"
+        )
+
+
+def estimate_macro(
+    spec: MacroSpec,
+    arch: MacroArchitecture,
+    scl: SubcircuitLibrary,
+    mode: Optional[Tuple[DataFormat, DataFormat]] = None,
+) -> MacroEstimate:
+    """Price one architecture from the subcircuit library."""
+    arch.validate_against(spec)
+    h, w, mcr = spec.height, spec.width, spec.mcr
+    k = spec.input_width
+    tree_w = spec.tree_sum_width
+    acc_w = spec.accumulator_width
+    ofu_cols = spec.max_weight_bits
+    groups = w // ofu_cols
+    fmt_in, fmt_w = mode or (
+        max(spec.input_formats, key=lambda f: f.serial_bits),
+        max(spec.weight_formats, key=lambda f: f.storage_bits),
+    )
+
+    # --- SCL lookups -------------------------------------------------------
+    wl = scl.lookup("wl_driver", f"drv{arch.driver_strength}", w)
+    bl = scl.lookup("bl_driver", f"drv{arch.driver_strength}", h * mcr)
+    mm = scl.lookup("mult_mux", arch.mult_style, mcr)
+    sub_n = arch.subtree_inputs(spec)
+    tree = scl.lookup(
+        "adder_tree",
+        tree_variant(arch.tree_style, arch.tree_fa_levels, arch.carry_reorder),
+        sub_n,
+    )
+    sub_tree_w = int(math.floor(math.log2(sub_n))) + 1
+    sa = scl.lookup("shift_adder", f"k{k}", tree_w)
+    ofu_tag = "csel" if arch.ofu_csel else "rpl"
+    ofu = scl.lookup("ofu", f"c{ofu_cols}-{ofu_tag}", acc_w)
+    memcell = scl.lookup("memcell", arch.memcell, 1)
+    storage = scl.lookup("memcell", "SRAM6T", 1)
+
+    # --- timing segments ---------------------------------------------------
+    segments: List[Segment] = []
+    front = wl.delay_ns + memcell.delay_ns + mm.delay_ns + tree.delay_ns
+
+    combiner_delay = 0.0
+    if arch.column_split > 1:
+        fuse1 = scl.lookup("fuse_stage", "s1-rpl", sub_tree_w)
+        combiner_delay = math.log2(arch.column_split) * fuse1.delay_ns
+        segments.append(Segment("mac_front", front + CLOCK_OVERHEAD_NS))
+        if arch.reg_after_tree:
+            segments.append(
+                Segment("combine", combiner_delay + CLOCK_OVERHEAD_NS)
+            )
+            segments.append(Segment("sna", sa.delay_ns))
+        else:
+            # S&A's record already carries one clocking overhead.
+            segments.append(
+                Segment("combine_sna", combiner_delay + sa.delay_ns)
+            )
+    else:
+        if arch.reg_after_tree:
+            segments.append(Segment("mac_front", front + CLOCK_OVERHEAD_NS))
+            segments.append(Segment("sna", sa.delay_ns))
+        else:
+            # S&A's record already includes one clocking overhead.
+            segments.append(Segment("mac_front_sna", front + sa.delay_ns))
+
+    # OFU segments: the S&A accumulator register always launches them.
+    # Register boundaries follow the same rule the RTL generator uses.
+    from ..rtl.gen.ofu import ofu_boundaries
+
+    n_stages = len(ofu.stage_delays_ns)
+    boundaries = [
+        b
+        for b in ofu_boundaries(
+            n_stages, arch.ofu_retimed and arch.reg_after_sna, arch.ofu_pipeline
+        )
+        if b < n_stages
+    ]
+
+    def stages_delay(stage_indices: List[int]) -> float:
+        if len(stage_indices) == n_stages:
+            # Unbroken OFU: the characterized end-to-end delay captures
+            # the LSB-first overlap between stages.
+            return ofu.delay_ns
+        return sum(ofu.stage_delays_ns[i] for i in stage_indices)
+
+    start = 0
+    for b in boundaries + [n_stages]:
+        idx = list(range(start, b))
+        if idx:
+            segments.append(
+                Segment(
+                    f"ofu_s{start + 1}_{b}",
+                    stages_delay(idx) + CLOCK_OVERHEAD_NS,
+                )
+            )
+        start = b
+
+    segments = [
+        Segment(s.name, s.delay_ns * WIRE_DERATE) for s in segments
+    ]
+
+    # --- energy / area / leakage -------------------------------------------
+    dff = _RegisterCost()
+    energy = 0.0
+    area = 0.0
+    leak = 0.0
+
+    def add(e_pj: float, a_um2: float, l_mw: float) -> None:
+        nonlocal energy, area, leak
+        energy += e_pj
+        area += a_um2
+        leak += l_mw
+
+    # Word lines and input registers (per row).
+    add(wl.energy_pj * h, wl.area_um2 * h, wl.leakage_mw * h)
+    # BL drivers at write duty.
+    add(bl.energy_pj * w * BL_WRITE_DUTY, bl.area_um2 * w, bl.leakage_mw * w)
+    # Bitcells: compute rows + storage banks.
+    n_compute = h * w
+    n_storage = h * (mcr - 1) * w
+    add(
+        memcell.energy_pj * n_compute + storage.energy_pj * n_storage,
+        memcell.area_um2 * n_compute + storage.area_um2 * n_storage,
+        memcell.leakage_mw * n_compute + storage.leakage_mw * n_storage,
+    )
+    # Multipliers.
+    add(mm.energy_pj * h * w, mm.area_um2 * h * w, mm.leakage_mw * h * w)
+    # Trees (per column, possibly split).
+    n_trees = w * arch.column_split
+    add(tree.energy_pj * n_trees, tree.area_um2 * n_trees, tree.leakage_mw * n_trees)
+    if arch.column_split > 1:
+        n_regs = w * arch.column_split * sub_tree_w
+        dff.add(add, n_regs)
+        fuse1 = scl.lookup("fuse_stage", "s1-rpl", sub_tree_w)
+        n_comb = w * (arch.column_split - 1)
+        add(
+            fuse1.energy_pj * n_comb,
+            fuse1.area_um2 * n_comb,
+            fuse1.leakage_mw * n_comb,
+        )
+    if arch.reg_after_tree:
+        dff.add(add, w * tree_w)
+    # S&A per column.
+    add(sa.energy_pj * w, sa.area_um2 * w, sa.leakage_mw * w)
+    # OFU input register bank.
+    if arch.reg_after_sna:
+        dff.add(add, w * acc_w)
+    # OFU fabric + pipeline registers + output registers.
+    add(ofu.energy_pj * groups, ofu.area_um2 * groups, ofu.leakage_mw * groups)
+    out_w = acc_w
+    for s in range(1, n_stages + 1):
+        out_w = out_w + (1 << (s - 1)) + 1
+        if s in boundaries:
+            dff.add(add, groups * out_w)
+    dff.add(add, groups * out_w)  # output registers
+    # Alignment unit (FP modes only; amortized over the serial phases).
+    if fmt_in.is_float:
+        align = scl.lookup("alignment", fmt_in.name, h)
+        add(
+            align.energy_pj / max(fmt_in.serial_bits, 1),
+            align.area_um2,
+            align.leakage_mw,
+        )
+    elif spec.needs_fp:
+        # Hardware present but bypassed: area/leakage, no switching.
+        widest = max(
+            (f for f in spec.input_formats if f.is_float),
+            key=lambda f: f.bits,
+            default=None,
+        )
+        if widest is not None:
+            align = scl.lookup("alignment", widest.name, h)
+            add(0.0, align.area_um2, align.leakage_mw)
+
+    # Mode-dependent activity derating: narrower serial words toggle the
+    # same fabric for fewer cycles per MAC but each cycle looks alike;
+    # weight-mode does not change per-cycle energy.  (Per-cycle energy is
+    # therefore mode-independent except for alignment — matching how the
+    # paper reports FP overheads.)
+
+    return MacroEstimate(
+        spec=spec,
+        arch=arch,
+        segments=tuple(segments),
+        area_um2=area / _UTILIZATION,
+        energy_per_cycle_pj=energy * ENERGY_DERATE,
+        leakage_mw=leak,
+        mode_input=fmt_in,
+        mode_weight=fmt_w,
+    )
+
+
+#: Area divisor converting cell area to floorplan area (matches the SDP
+#: placer's achieved utilization).
+_UTILIZATION = 0.70
+
+
+class _RegisterCost:
+    """Helper adding register-bank costs uniformly."""
+
+    def add(self, sink, bits: float) -> None:
+        sink(DFF_ENERGY_PJ * bits, DFF_AREA_UM2 * bits, DFF_LEAK_MW * bits)

@@ -1,0 +1,63 @@
+"""Pareto-frontier utilities over candidate designs."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Sequence, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True if ``a`` is no worse than ``b`` everywhere and better
+    somewhere (all objectives minimized)."""
+    if len(a) != len(b):
+        raise ValueError("objective vectors must have equal length")
+    no_worse = all(x <= y + 1e-12 for x, y in zip(a, b))
+    better = any(x < y - 1e-12 for x, y in zip(a, b))
+    return no_worse and better
+
+
+def pareto_front(
+    items: Iterable[T], objectives: Callable[[T], Sequence[float]]
+) -> List[T]:
+    """Non-dominated subset, stable order, duplicates collapsed."""
+    pool: List[Tuple[T, Tuple[float, ...]]] = [
+        (item, tuple(objectives(item))) for item in items
+    ]
+    front: List[Tuple[T, Tuple[float, ...]]] = []
+    for item, obj in pool:
+        dominated = False
+        keep: List[Tuple[T, Tuple[float, ...]]] = []
+        for other, other_obj in front:
+            if dominates(other_obj, obj) or other_obj == obj:
+                dominated = True
+            if not dominates(obj, other_obj):
+                keep.append((other, other_obj))
+        if not dominated:
+            keep.append((item, obj))
+            front = keep
+    return [item for item, _ in front]
+
+
+def hypervolume_2d(
+    points: Iterable[Sequence[float]], reference: Sequence[float]
+) -> float:
+    """2-D hypervolume (area dominated below the reference point); used
+    by tests and the DSE example to compare frontiers."""
+    pts = sorted(
+        (tuple(p) for p in points if p[0] <= reference[0] and p[1] <= reference[1])
+    )
+    if not pts:
+        return 0.0
+    front: List[Tuple[float, float]] = []
+    best_y = float("inf")
+    for x, y in pts:
+        if y < best_y:
+            front.append((x, y))
+            best_y = y
+    volume = 0.0
+    prev_x = reference[0]
+    for x, y in reversed(front):
+        volume += (prev_x - x) * (reference[1] - y)
+        prev_x = x
+    return volume

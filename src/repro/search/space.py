@@ -1,0 +1,83 @@
+"""Search-space construction from input specifications.
+
+"Once the input specifications are determined, we first define the
+configurations of each subcircuit based on these specifications, forming
+a search space" (paper Section III.C).  The space is the set of
+per-subcircuit options compatible with the spec — what the seeds and
+moves of :mod:`repro.search.algorithm` range over — plus helpers that
+enumerate or sample it for baselines and ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..arch import (
+    DRIVER_STRENGTHS,
+    MEMCELLS,
+    MULT_STYLES,
+    TREE_STYLES,
+    MacroArchitecture,
+    architecture_space,
+)
+from ..spec import MacroSpec
+
+
+@dataclass(frozen=True)
+class SearchSpace:
+    """Per-subcircuit option sets valid for one specification."""
+
+    spec: MacroSpec
+    memcells: Tuple[str, ...]
+    mult_styles: Tuple[str, ...]
+    tree_styles: Tuple[str, ...]
+    fa_levels: Tuple[int, ...]
+    column_splits: Tuple[int, ...]
+    driver_strengths: Tuple[int, ...]
+    ofu_pipelines: Tuple[int, ...]
+
+    @property
+    def size(self) -> int:
+        """Number of distinct architecture points (registers knobs add
+        a further x8 not counted here)."""
+        tree_opts = 0
+        for style in self.tree_styles:
+            tree_opts += len(self.fa_levels) if style == "mixed" else 1
+        return (
+            len(self.memcells)
+            * len(self.mult_styles)
+            * tree_opts
+            * len(self.column_splits)
+            * len(self.driver_strengths)
+            * len(self.ofu_pipelines)
+        )
+
+    def describe(self) -> str:
+        return (
+            f"search space for {self.spec.describe()}: {self.size} "
+            f"architecture points (x8 register placements)"
+        )
+
+
+def build_search_space(spec: MacroSpec) -> SearchSpace:
+    """Derive the valid option sets for a specification."""
+    mult = tuple(
+        s for s in MULT_STYLES if not (s == "oai22" and spec.mcr > 2)
+    )
+    splits = tuple(s for s in (1, 2, 4) if spec.height // s >= 4)
+    return SearchSpace(
+        spec=spec,
+        memcells=MEMCELLS,
+        mult_styles=mult,
+        tree_styles=TREE_STYLES,
+        fa_levels=(0, 1, 2, 3),
+        column_splits=splits,
+        driver_strengths=DRIVER_STRENGTHS,
+        ofu_pipelines=(0, 1, 2),
+    )
+
+
+def enumerate_architectures(spec: MacroSpec) -> Tuple[MacroArchitecture, ...]:
+    """Full discrete enumeration (delegates to :mod:`repro.arch`)."""
+    return architecture_space(spec)

@@ -1,0 +1,45 @@
+"""Simulation: number formats, behavioural macro model, gate-level
+simulation, and the voltage/frequency shmoo engine."""
+
+from .formats import (
+    FPFields,
+    align_group,
+    decode_int,
+    decode_unsigned,
+    encode_int,
+    group_scale,
+    int_range,
+    quantize_to_fp,
+    unpack_fp,
+    wrap_to_width,
+)
+from .functional import DCIMMacroModel, MacCycleTrace
+from .gatesim import GateSimulator
+from .shmoo import (
+    DEFAULT_SIGMA,
+    MeasuredEfficiency,
+    ShmooResult,
+    measure_efficiency,
+    run_shmoo,
+)
+
+__all__ = [
+    "FPFields",
+    "align_group",
+    "decode_int",
+    "decode_unsigned",
+    "encode_int",
+    "group_scale",
+    "int_range",
+    "quantize_to_fp",
+    "unpack_fp",
+    "wrap_to_width",
+    "DCIMMacroModel",
+    "MacCycleTrace",
+    "GateSimulator",
+    "DEFAULT_SIGMA",
+    "MeasuredEfficiency",
+    "ShmooResult",
+    "measure_efficiency",
+    "run_shmoo",
+]

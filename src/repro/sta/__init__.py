@@ -1,0 +1,31 @@
+"""Static timing analysis over flat gate netlists."""
+
+from .analysis import (
+    PathStep,
+    TimingReport,
+    analyze,
+    analyze_graph,
+    minimum_period_ns,
+    propagate,
+)
+from .graph import (
+    DEFAULT_WLM_FF_PER_SINK,
+    TimingEdge,
+    TimingGraph,
+    build_timing_graph,
+    net_capacitance,
+)
+
+__all__ = [
+    "PathStep",
+    "TimingReport",
+    "analyze",
+    "analyze_graph",
+    "minimum_period_ns",
+    "propagate",
+    "DEFAULT_WLM_FF_PER_SINK",
+    "TimingEdge",
+    "TimingGraph",
+    "build_timing_graph",
+    "net_capacitance",
+]

@@ -1,0 +1,18 @@
+"""Synthesis layer: elaboration is :meth:`repro.rtl.ir.Module.flatten`;
+this package adds the netlist optimization passes."""
+
+from .optimize import (
+    FANOUT_LIMIT,
+    buffer_high_fanout,
+    optimize,
+    propagate_constants,
+    sweep_dead_logic,
+)
+
+__all__ = [
+    "FANOUT_LIMIT",
+    "buffer_high_fanout",
+    "optimize",
+    "propagate_constants",
+    "sweep_dead_logic",
+]

@@ -1,0 +1,106 @@
+"""LEF-style abstract physical views of library cells.
+
+Mirrors the LEF files the paper generates for custom cells ("describing
+the GDS information", Section III.D): per-cell footprint, site, and pin
+positions on the cell boundary.  The placer consumes these views; the
+GDS writer replays them into the final layout database.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Tuple
+
+from ..errors import LayoutError
+from .stdcells import Cell
+
+
+@dataclass(frozen=True)
+class PinShape:
+    """A pin landing point on the cell outline (um, cell-relative)."""
+
+    name: str
+    x_um: float
+    y_um: float
+
+
+@dataclass(frozen=True)
+class MacroView:
+    """Abstract (LEF MACRO) view of one cell."""
+
+    name: str
+    width_um: float
+    height_um: float
+    site: str
+    pins: Tuple[PinShape, ...]
+
+    def pin(self, name: str) -> PinShape:
+        for p in self.pins:
+            if p.name == name:
+                return p
+        raise LayoutError(f"{self.name}: no pin {name!r} in LEF view")
+
+
+def view_for_cell(cell: Cell) -> MacroView:
+    """Derive an abstract view: inputs spread on the left edge (plus the
+    clock on the bottom), outputs on the right edge."""
+    width = cell.width_um or cell.area_um2 / (cell.height_um or 1.8)
+    height = cell.height_um or 1.8
+    pins: List[PinShape] = []
+    inputs = list(cell.input_caps_ff)
+    for i, pin in enumerate(inputs):
+        y = height * (i + 1) / (len(inputs) + 1)
+        if cell.is_sequential and pin == cell.clk_pin:
+            pins.append(PinShape(pin, width / 2.0, 0.0))
+        else:
+            pins.append(PinShape(pin, 0.0, y))
+    for i, pin in enumerate(cell.outputs):
+        y = height * (i + 1) / (len(cell.outputs) + 1)
+        pins.append(PinShape(pin, width, y))
+    site = "coreSite" if not cell.is_memory else "sramSite"
+    return MacroView(cell.name, width, height, site, tuple(pins))
+
+
+def write_lef(views: Mapping[str, MacroView]) -> str:
+    """Render LEF text for the given views (subset of the LEF grammar)."""
+    out: List[str] = ["VERSION 5.8 ;", "BUSBITCHARS \"[]\" ;", "DIVIDERCHAR \"/\" ;"]
+    for name in sorted(views):
+        v = views[name]
+        out.append(f"MACRO {name}")
+        out.append("  CLASS CORE ;")
+        out.append(f"  SIZE {v.width_um:.4f} BY {v.height_um:.4f} ;")
+        out.append(f"  SITE {v.site} ;")
+        for pin in v.pins:
+            out.append(f"  PIN {pin.name}")
+            out.append("    PORT")
+            out.append(
+                f"      RECT {pin.x_um:.4f} {pin.y_um:.4f} "
+                f"{pin.x_um + 0.05:.4f} {pin.y_um + 0.05:.4f} ;"
+            )
+            out.append("    END")
+            out.append(f"  END {pin.name}")
+        out.append(f"END {name}")
+    out.append("END LIBRARY")
+    return "\n".join(out) + "\n"
+
+
+_MACRO_RE = re.compile(r"^MACRO (\w+)$")
+_SIZE_RE = re.compile(r"^\s*SIZE ([0-9.]+) BY ([0-9.]+) ;$")
+
+
+def parse_lef(text: str) -> Dict[str, Tuple[float, float]]:
+    """Parse macro sizes back out of LEF text (round-trip tests)."""
+    sizes: Dict[str, Tuple[float, float]] = {}
+    current = ""
+    for line in text.splitlines():
+        m = _MACRO_RE.match(line)
+        if m:
+            current = m.group(1)
+            continue
+        m = _SIZE_RE.match(line)
+        if m and current:
+            sizes[current] = (float(m.group(1)), float(m.group(2)))
+    if not sizes:
+        raise LayoutError("no macros found in LEF text")
+    return sizes

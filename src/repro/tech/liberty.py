@@ -1,0 +1,132 @@
+"""Liberty (.lib) style export of characterized cells.
+
+The paper integrates custom cells into the digital flow by generating
+LIB files "providing timing, power, and area information ... compatible
+with standard cells" (Section III.D).  This writer emits a faithful
+subset of the Liberty grammar — library header, cell/pin/timing groups
+with ``index_1``/``index_2``/``values`` tables — so the output is
+recognizably a .lib and can be round-tripped by :func:`parse_liberty`
+(used in tests to prove the views are self-consistent).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, List, Mapping, Tuple
+
+from ..errors import LibraryError
+from .characterization import CharacterizedCell, NLDMTable
+
+
+def _fmt_floats(values: Iterable[float]) -> str:
+    return ", ".join(f"{v:.6f}" for v in values)
+
+
+def _emit_table(name: str, table: NLDMTable, indent: str) -> List[str]:
+    lines = [f"{indent}{name} (delay_template) {{"]
+    lines.append(f'{indent}  index_1 ("{_fmt_floats(table.slews_ns)}");')
+    lines.append(f'{indent}  index_2 ("{_fmt_floats(table.loads_ff)}");')
+    rows = ", \\\n".join(
+        f'{indent}    "{_fmt_floats(row)}"' for row in table.values
+    )
+    lines.append(f"{indent}  values ( \\\n{rows});")
+    lines.append(f"{indent}}}")
+    return lines
+
+
+def write_liberty(
+    library_name: str,
+    cells: Mapping[str, CharacterizedCell],
+    vdd: float,
+) -> str:
+    """Render the characterized cells as Liberty text."""
+    out: List[str] = []
+    out.append(f"library ({library_name}) {{")
+    out.append('  delay_model : "table_lookup";')
+    out.append('  time_unit : "1ns";')
+    out.append('  capacitive_load_unit (1, "ff");')
+    out.append(f"  nom_voltage : {vdd:.3f};")
+    for name in sorted(cells):
+        cc = cells[name]
+        cell = cc.cell
+        out.append(f"  cell ({name}) {{")
+        out.append(f"    area : {cell.area_um2:.4f};")
+        out.append(f"    cell_leakage_power : {cell.leakage_nw:.4f};")
+        for pin, cap in cell.input_caps_ff.items():
+            out.append(f"    pin ({pin}) {{")
+            out.append("      direction : input;")
+            out.append(f"      capacitance : {cap:.4f};")
+            if cell.is_sequential and pin == cell.clk_pin:
+                out.append("      clock : true;")
+            out.append("    }")
+        for pin in cell.outputs:
+            out.append(f"    pin ({pin}) {{")
+            out.append("      direction : output;")
+            energy = cell.internal_energy_fj.get(pin, 0.0)
+            out.append(f"      internal_power_fj : {energy:.4f};")
+            for ca in cc.arcs:
+                if ca.arc.output_pin != pin:
+                    continue
+                out.append("      timing () {")
+                out.append(f"        related_pin : \"{ca.arc.input_pin}\";")
+                out.extend(_emit_table("cell_rise", ca.delay_table, "        "))
+                out.extend(_emit_table("rise_transition", ca.slew_table, "        "))
+                out.append("      }")
+            out.append("    }")
+        if cell.is_sequential:
+            out.append(
+                f"    ff (IQ) {{ clocked_on : \"{cell.clk_pin}\"; "
+                f"next_state : \"D\"; }}"
+            )
+        out.append("  }")
+    out.append("}")
+    return "\n".join(out) + "\n"
+
+
+_CELL_RE = re.compile(r"^\s*cell \((\w+)\) \{")
+_AREA_RE = re.compile(r"^\s*area : ([0-9.eE+-]+);")
+_LEAK_RE = re.compile(r"^\s*cell_leakage_power : ([0-9.eE+-]+);")
+_PIN_RE = re.compile(r"^\s*pin \((\w+)\) \{")
+_CAP_RE = re.compile(r"^\s*capacitance : ([0-9.eE+-]+);")
+
+
+def parse_liberty(text: str) -> Dict[str, Dict[str, object]]:
+    """Parse the subset of Liberty this writer emits.
+
+    Returns ``{cell_name: {"area": float, "leakage": float,
+    "pin_caps": {pin: cap}}}`` — enough for the round-trip consistency
+    tests and for third-party consumption of the exported views.
+    """
+    cells: Dict[str, Dict[str, object]] = {}
+    current: str = ""
+    current_pin: str = ""
+    for line in text.splitlines():
+        m = _CELL_RE.match(line)
+        if m:
+            current = m.group(1)
+            cells[current] = {"area": 0.0, "leakage": 0.0, "pin_caps": {}}
+            current_pin = ""
+            continue
+        if not current:
+            continue
+        m = _AREA_RE.match(line)
+        if m:
+            cells[current]["area"] = float(m.group(1))
+            continue
+        m = _LEAK_RE.match(line)
+        if m:
+            cells[current]["leakage"] = float(m.group(1))
+            continue
+        m = _PIN_RE.match(line)
+        if m:
+            current_pin = m.group(1)
+            continue
+        m = _CAP_RE.match(line)
+        if m and current_pin:
+            pin_caps = cells[current]["pin_caps"]
+            assert isinstance(pin_caps, dict)
+            pin_caps[current_pin] = float(m.group(1))
+            continue
+    if not cells:
+        raise LibraryError("no cells found in liberty text")
+    return cells

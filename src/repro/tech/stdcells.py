@@ -1,0 +1,545 @@
+"""Standard-cell and custom-cell library for the 40 nm-class process.
+
+The paper builds DCIM macros from (a) ordinary standard cells, (b) custom
+cells — SRAM bitcells, multiplier/multiplexer structures — that are
+characterized and wrapped with LEF/LIB views so "they become standard
+cells for integration into the digital flow" (Section III.B).  This
+module provides both kinds.
+
+Each :class:`Cell` carries
+
+* geometry (``area_um2``, ``width_um``, ``height_um``) for placement;
+* per-input-pin capacitance (fF) for loading upstream drivers;
+* per-arc linear delay models ``d = d0 + r * C_load`` (ns, with r in
+  kOhm and C in fF so ``r * C`` is ps — converted inside);
+* leakage power (nW) and internal switching energy per output toggle
+  (fJ);
+* an optional boolean ``function`` used by the gate-level simulator.
+
+Per-pin arcs matter: the paper's CSA optimization exploits the fact that
+a compressor's carry output is faster than its sum output and reorders
+cell connections accordingly (Fig. 4), which only a pin-accurate model
+can express.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Mapping, Optional, Tuple
+
+from ..errors import LibraryError
+
+LogicFn = Callable[[Mapping[str, int]], Dict[str, int]]
+
+
+@dataclass(frozen=True)
+class TimingArc:
+    """Propagation arc from ``input_pin`` to ``output_pin``.
+
+    ``d0_ns`` is the unloaded (intrinsic) delay; ``r_kohm`` the effective
+    drive resistance seen when charging the output load.
+    """
+
+    input_pin: str
+    output_pin: str
+    d0_ns: float
+    r_kohm: float
+
+    def delay_ns(self, load_ff: float, slew_factor: float = 1.0) -> float:
+        """Linear-model delay for a given load; ``slew_factor`` derates
+        the intrinsic term for slow input edges (see characterization)."""
+        return self.d0_ns * slew_factor + self.r_kohm * load_ff * 1e-3
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One library cell (standard or custom)."""
+
+    name: str
+    area_um2: float
+    input_caps_ff: Dict[str, float]
+    outputs: Tuple[str, ...]
+    arcs: Tuple[TimingArc, ...]
+    leakage_nw: float
+    internal_energy_fj: Dict[str, float]
+    function: Optional[LogicFn] = None
+    is_sequential: bool = False
+    clk_pin: str = ""
+    clk_to_q_ns: float = 0.0
+    setup_ns: float = 0.0
+    hold_ns: float = 0.0
+    is_memory: bool = False
+    width_um: float = 0.0
+    height_um: float = 0.0
+    tags: Tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        for arc in self.arcs:
+            if arc.output_pin not in self.outputs:
+                raise LibraryError(
+                    f"{self.name}: arc output {arc.output_pin!r} not a cell output"
+                )
+            if not self.is_sequential and arc.input_pin not in self.input_caps_ff:
+                raise LibraryError(
+                    f"{self.name}: arc input {arc.input_pin!r} not a cell input"
+                )
+
+    @property
+    def inputs(self) -> Tuple[str, ...]:
+        return tuple(self.input_caps_ff)
+
+    def input_cap(self, pin: str) -> float:
+        try:
+            return self.input_caps_ff[pin]
+        except KeyError:
+            raise LibraryError(f"{self.name} has no input pin {pin!r}") from None
+
+    def arcs_to(self, output_pin: str) -> Tuple[TimingArc, ...]:
+        return tuple(a for a in self.arcs if a.output_pin == output_pin)
+
+    def arc(self, input_pin: str, output_pin: str) -> TimingArc:
+        for a in self.arcs:
+            if a.input_pin == input_pin and a.output_pin == output_pin:
+                return a
+        raise LibraryError(f"{self.name}: no arc {input_pin}->{output_pin}")
+
+    def worst_arc_to(self, output_pin: str) -> TimingArc:
+        arcs = self.arcs_to(output_pin)
+        if not arcs:
+            raise LibraryError(f"{self.name}: no arcs drive {output_pin!r}")
+        return max(arcs, key=lambda a: a.d0_ns)
+
+    def evaluate(self, pins: Mapping[str, int]) -> Dict[str, int]:
+        if self.function is None:
+            raise LibraryError(f"{self.name} has no logic function")
+        return self.function(pins)
+
+
+def _full_arcs(
+    inputs: Tuple[str, ...], output: str, d0: float, r: float
+) -> Tuple[TimingArc, ...]:
+    return tuple(TimingArc(i, output, d0, r) for i in inputs)
+
+
+# --------------------------------------------------------------------------
+# Logic functions (used by the gate-level simulator and LVS equivalence).
+# --------------------------------------------------------------------------
+
+
+def _inv(p: Mapping[str, int]) -> Dict[str, int]:
+    return {"Y": 1 - p["A"]}
+
+
+def _buf(p: Mapping[str, int]) -> Dict[str, int]:
+    return {"Y": p["A"]}
+
+
+def _nand2(p: Mapping[str, int]) -> Dict[str, int]:
+    return {"Y": 1 - (p["A"] & p["B"])}
+
+
+def _nor2(p: Mapping[str, int]) -> Dict[str, int]:
+    return {"Y": 1 - (p["A"] | p["B"])}
+
+
+def _and2(p: Mapping[str, int]) -> Dict[str, int]:
+    return {"Y": p["A"] & p["B"]}
+
+
+def _or2(p: Mapping[str, int]) -> Dict[str, int]:
+    return {"Y": p["A"] | p["B"]}
+
+
+def _xor2(p: Mapping[str, int]) -> Dict[str, int]:
+    return {"Y": p["A"] ^ p["B"]}
+
+
+def _xnor2(p: Mapping[str, int]) -> Dict[str, int]:
+    return {"Y": 1 - (p["A"] ^ p["B"])}
+
+
+def _aoi22(p: Mapping[str, int]) -> Dict[str, int]:
+    return {"Y": 1 - ((p["A"] & p["B"]) | (p["C"] & p["D"]))}
+
+
+def _oai22(p: Mapping[str, int]) -> Dict[str, int]:
+    return {"Y": 1 - ((p["A"] | p["B"]) & (p["C"] | p["D"]))}
+
+
+def _mux2(p: Mapping[str, int]) -> Dict[str, int]:
+    return {"Y": p["D1"] if p["S"] else p["D0"]}
+
+
+def _fa(p: Mapping[str, int]) -> Dict[str, int]:
+    s = p["A"] + p["B"] + p["CI"]
+    return {"S": s & 1, "CO": (s >> 1) & 1}
+
+
+def _ha(p: Mapping[str, int]) -> Dict[str, int]:
+    s = p["A"] + p["B"]
+    return {"S": s & 1, "CO": (s >> 1) & 1}
+
+
+def _cmp42(p: Mapping[str, int]) -> Dict[str, int]:
+    """4-2 compressor used as a 5-3 carry-save counter (paper [14]).
+
+    Inputs A..D plus horizontal carry-in CI; outputs sum S (weight 1),
+    carry C (weight 2) and horizontal carry-out CO (weight 2, a function
+    of A..D only, which keeps the horizontal chain from rippling).
+    """
+    co = 1 if (p["A"] + p["B"] + p["C"]) >= 2 else 0
+    s3 = (p["A"] + p["B"] + p["C"]) & 1
+    total = s3 + p["D"] + p["CI"]
+    return {"S": total & 1, "CY": (total >> 1) & 1, "CO": co}
+
+
+def _tie0(_: Mapping[str, int]) -> Dict[str, int]:
+    return {"Y": 0}
+
+
+def _tie1(_: Mapping[str, int]) -> Dict[str, int]:
+    return {"Y": 1}
+
+
+# --------------------------------------------------------------------------
+# Library construction.
+# --------------------------------------------------------------------------
+
+
+def _make_cells() -> Dict[str, Cell]:
+    cells: Dict[str, Cell] = {}
+
+    def add(cell: Cell) -> None:
+        if cell.name in cells:
+            raise LibraryError(f"duplicate cell {cell.name}")
+        cells[cell.name] = cell
+
+    def simple(
+        name: str,
+        area: float,
+        cap: float,
+        d0: float,
+        r: float,
+        leak: float,
+        e_int: float,
+        n_inputs: int,
+        fn: LogicFn,
+        tags: Tuple[str, ...] = (),
+        caps: Optional[Dict[str, float]] = None,
+    ) -> Cell:
+        pin_names = tuple("ABCD"[:n_inputs])
+        input_caps = caps or {p: cap for p in pin_names}
+        return Cell(
+            name=name,
+            area_um2=area,
+            input_caps_ff=input_caps,
+            outputs=("Y",),
+            arcs=_full_arcs(tuple(input_caps), "Y", d0, r),
+            leakage_nw=leak,
+            internal_energy_fj={"Y": e_int},
+            function=fn,
+            width_um=area / 1.8,
+            height_um=1.8,
+            tags=tags,
+        )
+
+    # Inverters/buffers at three drive strengths.
+    add(simple("INV_X1", 0.8, 0.9, 0.010, 1.40, 1.5, 0.40, 1, _inv))
+    add(simple("INV_X2", 1.1, 1.8, 0.010, 0.70, 3.0, 0.70, 1, _inv))
+    add(simple("INV_X4", 1.8, 3.6, 0.011, 0.35, 6.0, 1.30, 1, _inv))
+    add(simple("BUF_X2", 1.6, 1.0, 0.022, 0.70, 3.2, 0.90, 1, _buf))
+    add(simple("BUF_X4", 2.4, 1.1, 0.024, 0.35, 5.5, 1.60, 1, _buf))
+    add(simple("BUF_X8", 3.8, 1.2, 0.026, 0.18, 9.5, 2.90, 1, _buf))
+
+    # Basic combinational gates.
+    add(simple("NAND2_X1", 1.2, 1.1, 0.014, 1.60, 2.2, 0.60, 2, _nand2))
+    add(simple("NAND2_X2", 1.7, 2.2, 0.014, 0.80, 4.2, 1.05, 2, _nand2))
+    add(simple("NOR2_X1", 1.2, 1.1, 0.016, 1.80, 2.0, 0.60, 2, _nor2))
+    add(simple("AND2_X1", 1.5, 1.0, 0.022, 1.50, 2.6, 0.75, 2, _and2))
+    add(simple("OR2_X1", 1.5, 1.0, 0.024, 1.60, 2.6, 0.80, 2, _or2))
+    add(simple("XOR2_X1", 2.6, 1.9, 0.030, 1.70, 3.5, 1.20, 2, _xor2))
+    add(simple("XNOR2_X1", 2.6, 1.9, 0.030, 1.70, 3.5, 1.20, 2, _xnor2))
+    add(simple("AOI22_X1", 1.9, 1.2, 0.020, 1.90, 2.8, 0.85, 4, _aoi22))
+    add(
+        simple(
+            "OAI22_X1",
+            1.9,
+            1.2,
+            0.020,
+            1.90,
+            2.8,
+            0.85,
+            4,
+            _oai22,
+            tags=("mult_mux",),
+        )
+    )
+    add(simple("TIE0", 0.4, 0.0, 0.0, 0.0, 0.2, 0.0, 0, _tie0))
+    add(simple("TIE1", 0.4, 0.0, 0.0, 0.0, 0.2, 0.0, 0, _tie1))
+
+    # Transmission-gate mux (paper option 3 for MCR selection).
+    add(
+        Cell(
+            name="TGMUX2_X1",
+            area_um2=0.9,
+            input_caps_ff={"D0": 1.0, "D1": 1.0, "S": 1.8},
+            outputs=("Y",),
+            arcs=(
+                TimingArc("D0", "Y", 0.012, 1.60),
+                TimingArc("D1", "Y", 0.012, 1.60),
+                TimingArc("S", "Y", 0.018, 1.60),
+            ),
+            leakage_nw=1.6,
+            internal_energy_fj={"Y": 0.50},
+            function=_mux2,
+            width_um=0.5,
+            height_um=1.8,
+            tags=("mult_mux",),
+        )
+    )
+    # Full-CMOS mux for datapath use.
+    add(
+        Cell(
+            name="MUX2_X1",
+            area_um2=2.2,
+            input_caps_ff={"D0": 1.0, "D1": 1.0, "S": 1.6},
+            outputs=("Y",),
+            arcs=(
+                TimingArc("D0", "Y", 0.020, 1.50),
+                TimingArc("D1", "Y", 0.020, 1.50),
+                TimingArc("S", "Y", 0.026, 1.50),
+            ),
+            leakage_nw=3.0,
+            internal_energy_fj={"Y": 0.95},
+            function=_mux2,
+            width_um=2.2 / 1.8,
+            height_um=1.8,
+        )
+    )
+    # 1T passing-gate mux (AutoDCIM option 1): tiny, but the Vt drop makes
+    # it slow and power hungry.
+    add(
+        Cell(
+            name="PGMUX2_X1",
+            area_um2=0.35,
+            input_caps_ff={"D0": 0.8, "D1": 0.8, "S": 1.2},
+            outputs=("Y",),
+            arcs=(
+                TimingArc("D0", "Y", 0.035, 3.50),
+                TimingArc("D1", "Y", 0.035, 3.50),
+                TimingArc("S", "Y", 0.040, 3.50),
+            ),
+            leakage_nw=2.4,
+            internal_energy_fj={"Y": 0.90},
+            function=_mux2,
+            width_um=0.2,
+            height_um=1.8,
+            tags=("mult_mux",),
+        )
+    )
+
+    # Adder cells.
+    add(
+        Cell(
+            name="HA_X1",
+            area_um2=3.4,
+            input_caps_ff={"A": 1.3, "B": 1.3},
+            outputs=("S", "CO"),
+            arcs=(
+                TimingArc("A", "S", 0.032, 1.70),
+                TimingArc("B", "S", 0.032, 1.70),
+                TimingArc("A", "CO", 0.022, 1.50),
+                TimingArc("B", "CO", 0.022, 1.50),
+            ),
+            leakage_nw=5.0,
+            internal_energy_fj={"S": 1.40, "CO": 0.90},
+            function=_ha,
+            width_um=3.4 / 1.8,
+            height_um=1.8,
+            tags=("adder",),
+        )
+    )
+    add(
+        Cell(
+            name="FA_X1",
+            area_um2=6.8,
+            input_caps_ff={"A": 1.6, "B": 1.6, "CI": 1.2},
+            outputs=("S", "CO"),
+            arcs=(
+                TimingArc("A", "S", 0.075, 1.70),
+                TimingArc("B", "S", 0.075, 1.70),
+                TimingArc("CI", "S", 0.055, 1.70),
+                TimingArc("A", "CO", 0.052, 1.50),
+                TimingArc("B", "CO", 0.052, 1.50),
+                TimingArc("CI", "CO", 0.038, 1.50),
+            ),
+            leakage_nw=9.0,
+            internal_energy_fj={"S": 2.80, "CO": 1.90},
+            function=_fa,
+            width_um=6.8 / 1.8,
+            height_um=1.8,
+            tags=("adder",),
+        )
+    )
+    # 4-2 compressor: smaller and lower-energy than the two FAs it
+    # replaces (6.8*2 = 13.6 um^2, 9.4 fJ), but its sum path is slower
+    # than one FA — exactly the trade the mixed CSA exploits.
+    add(
+        Cell(
+            name="CMP42_X1",
+            area_um2=10.5,
+            input_caps_ff={"A": 1.5, "B": 1.5, "C": 1.5, "D": 1.4, "CI": 1.2},
+            outputs=("S", "CY", "CO"),
+            arcs=(
+                TimingArc("A", "S", 0.100, 1.70),
+                TimingArc("B", "S", 0.100, 1.70),
+                TimingArc("C", "S", 0.098, 1.70),
+                TimingArc("D", "S", 0.072, 1.70),
+                TimingArc("CI", "S", 0.058, 1.70),
+                TimingArc("A", "CY", 0.080, 1.50),
+                TimingArc("B", "CY", 0.080, 1.50),
+                TimingArc("C", "CY", 0.078, 1.50),
+                TimingArc("D", "CY", 0.055, 1.50),
+                TimingArc("CI", "CY", 0.045, 1.50),
+                TimingArc("A", "CO", 0.060, 1.50),
+                TimingArc("B", "CO", 0.060, 1.50),
+                TimingArc("C", "CO", 0.058, 1.50),
+            ),
+            leakage_nw=13.0,
+            internal_energy_fj={"S": 2.40, "CY": 1.40, "CO": 0.80},
+            function=_cmp42,
+            width_um=10.5 / 1.8,
+            height_um=1.8,
+            tags=("adder", "compressor"),
+        )
+    )
+
+    # Sequential cells.
+    add(
+        Cell(
+            name="DFF_X1",
+            area_um2=4.6,
+            input_caps_ff={"D": 1.0, "CK": 0.9},
+            outputs=("Q",),
+            arcs=(TimingArc("CK", "Q", 0.085, 1.40),),
+            leakage_nw=6.0,
+            internal_energy_fj={"Q": 2.20},
+            is_sequential=True,
+            clk_pin="CK",
+            clk_to_q_ns=0.085,
+            setup_ns=0.045,
+            hold_ns=0.010,
+            width_um=4.6 / 1.8,
+            height_um=1.8,
+        )
+    )
+    add(
+        Cell(
+            name="LATCH_X1",
+            area_um2=3.2,
+            input_caps_ff={"D": 1.0, "G": 0.9},
+            outputs=("Q",),
+            arcs=(TimingArc("G", "Q", 0.060, 1.50),),
+            leakage_nw=4.2,
+            internal_energy_fj={"Q": 1.60},
+            is_sequential=True,
+            clk_pin="G",
+            clk_to_q_ns=0.060,
+            setup_ns=0.030,
+            hold_ns=0.010,
+            width_um=3.2 / 1.8,
+            height_um=1.8,
+        )
+    )
+
+    # Custom memory cells (characterized like standard cells, Fig. 3).
+    def memcell(
+        name: str, area: float, w: float, h: float, leak: float, e_read: float
+    ) -> Cell:
+        return Cell(
+            name=name,
+            area_um2=area,
+            input_caps_ff={"WL": 0.25, "BL": 0.30},
+            outputs=("RD",),
+            arcs=(TimingArc("WL", "RD", 0.030, 2.5),),
+            leakage_nw=leak,
+            internal_energy_fj={"RD": e_read},
+            is_memory=True,
+            width_um=w,
+            height_um=h,
+            tags=("memcell",),
+        )
+
+    # 6T + read port: the default compute bitcell.
+    cells["DCIM6T"] = memcell("DCIM6T", 1.05, 1.05, 1.0, 0.45, 0.22)
+    # 8T D-latch cell: robust read/write (paper [3]), bigger.
+    cells["DCIM8T"] = memcell("DCIM8T", 1.45, 1.45, 1.0, 0.60, 0.20)
+    # 12T OAI-gate cell: design-feasibility option (paper [10]).
+    cells["DCIM12T"] = memcell("DCIM12T", 2.10, 2.10, 1.0, 0.85, 0.26)
+    # Plain 6T storage cell used for extra MCR banks.
+    cells["SRAM6T"] = memcell("SRAM6T", 0.55, 0.55, 1.0, 0.30, 0.15)
+    # Hybrid ReRAM+SRAM compute cell (papers [11]-[13]): ReRAM stores the
+    # weight (near-zero leakage), a small SRAM assist reads it for MAC.
+    # Denser than the 6T compute cell but slower and costlier to read.
+    cells["RRAM_HYB"] = memcell("RRAM_HYB", 0.40, 0.40, 1.0, 0.02, 0.35)
+    rram = cells["RRAM_HYB"]
+    cells["RRAM_HYB"] = Cell(
+        name=rram.name,
+        area_um2=rram.area_um2,
+        input_caps_ff=rram.input_caps_ff,
+        outputs=rram.outputs,
+        arcs=(TimingArc("WL", "RD", 0.055, 3.2),),
+        leakage_nw=rram.leakage_nw,
+        internal_energy_fj=rram.internal_energy_fj,
+        is_memory=True,
+        width_um=rram.width_um,
+        height_um=rram.height_um,
+        tags=("memcell",),
+    )
+
+    return cells
+
+
+class StdCellLibrary:
+    """Container with name-based lookup over the calibrated cell set."""
+
+    def __init__(self, cells: Optional[Dict[str, Cell]] = None) -> None:
+        self._cells = dict(cells) if cells is not None else _make_cells()
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._cells
+
+    def __iter__(self):
+        return iter(self._cells.values())
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._cells))
+
+    def cell(self, name: str) -> Cell:
+        try:
+            return self._cells[name]
+        except KeyError:
+            raise LibraryError(f"unknown cell {name!r}") from None
+
+    def cells_tagged(self, tag: str) -> Tuple[Cell, ...]:
+        return tuple(c for c in self._cells.values() if tag in c.tags)
+
+    def add(self, cell: Cell) -> None:
+        if cell.name in self._cells:
+            raise LibraryError(f"cell {cell.name} already in library")
+        self._cells[cell.name] = cell
+
+
+_DEFAULT: Optional[StdCellLibrary] = None
+
+
+def default_library() -> StdCellLibrary:
+    """Shared singleton of the calibrated library (cells are immutable)."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = StdCellLibrary()
+    return _DEFAULT

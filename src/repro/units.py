@@ -1,0 +1,89 @@
+"""Physical unit conventions and helpers used across the compiler.
+
+Every quantity in the code base is stored in the following base units so
+that modules can exchange raw floats without ambiguity:
+
+===========  =========  ======================================
+Quantity     Unit       Notes
+===========  =========  ======================================
+time/delay   ns         nanoseconds
+frequency    MHz        ``1e3 / period_ns``
+capacitance  fF         femtofarads
+energy       pJ         picojoules (fF * V^2 = fJ; see below)
+power        mW         milliwatts (pJ * MHz * 1e-3 = mW)
+area         um^2       square micrometres
+length       um         micrometres
+voltage      V          volts
+===========  =========  ======================================
+
+The helpers below perform the unit algebra in one audited place, which
+keeps conversion factors out of the analysis code.
+"""
+
+from __future__ import annotations
+
+# Scale factors relative to base SI units (informational, used by reports).
+NS = 1e-9
+MHZ = 1e6
+FF = 1e-15
+PJ = 1e-12
+MW = 1e-3
+UM = 1e-6
+
+GHZ_PER_MHZ = 1e-3
+TOPS_PER_GOPS = 1e-3
+
+
+def period_ns(frequency_mhz: float) -> float:
+    """Clock period in ns for a frequency in MHz."""
+    if frequency_mhz <= 0.0:
+        raise ValueError(f"frequency must be positive, got {frequency_mhz}")
+    return 1e3 / frequency_mhz
+
+
+def frequency_mhz(period: float) -> float:
+    """Frequency in MHz for a clock period in ns."""
+    if period <= 0.0:
+        raise ValueError(f"period must be positive, got {period}")
+    return 1e3 / period
+
+
+def switching_energy_pj(capacitance_ff: float, vdd: float) -> float:
+    """Energy of one full-swing transition of ``capacitance_ff`` at ``vdd``.
+
+    ``E = C * Vdd^2``; with C in fF and V in volts the product is in fJ,
+    so we divide by 1000 to express the result in pJ.
+    """
+    return capacitance_ff * vdd * vdd * 1e-3
+
+
+def dynamic_power_mw(energy_per_cycle_pj: float, frequency: float) -> float:
+    """Average dynamic power for ``energy_per_cycle_pj`` spent each cycle.
+
+    pJ * MHz = uW, divided by 1000 for mW.
+    """
+    return energy_per_cycle_pj * frequency * 1e-3
+
+
+def tops_per_watt(ops_per_cycle: float, frequency: float, power_mw: float) -> float:
+    """Energy efficiency in TOPS/W.
+
+    ``ops_per_cycle * f[MHz]`` is MOPS; divide by power in mW to get
+    MOPS/mW == GOPS/W, then by 1000 for TOPS/W.
+    """
+    if power_mw <= 0.0:
+        raise ValueError(f"power must be positive, got {power_mw}")
+    return ops_per_cycle * frequency / power_mw * 1e-3
+
+
+def tops_per_mm2(ops_per_cycle: float, frequency: float, area_um2: float) -> float:
+    """Area efficiency in TOPS/mm^2."""
+    if area_um2 <= 0.0:
+        raise ValueError(f"area must be positive, got {area_um2}")
+    tops = ops_per_cycle * frequency * 1e-6  # MOPS -> TOPS
+    return tops / (area_um2 * 1e-6)
+
+
+def format_si(value: float, unit: str, digits: int = 3) -> str:
+    """Human-readable engineering formatting, e.g. ``format_si(1234, 'MHz')``."""
+    return f"{value:.{digits}g} {unit}"

@@ -1,0 +1,95 @@
+"""Architecture knobs and design-space enumeration."""
+
+import pytest
+
+from repro.arch import (
+    MacroArchitecture,
+    architecture_space,
+    default_architecture,
+)
+from repro.errors import SpecificationError
+from repro.spec import INT4, MacroSpec
+
+
+def test_default_architecture_is_valid():
+    arch = MacroArchitecture()
+    arch.validate_against(MacroSpec())
+
+
+def test_oai22_limited_to_mcr2():
+    arch = MacroArchitecture(mult_style="oai22")
+    arch.validate_against(MacroSpec(mcr=2))
+    with pytest.raises(SpecificationError):
+        arch.validate_against(MacroSpec(mcr=4))
+
+
+def test_column_split_floor():
+    spec = MacroSpec(height=8, width=8)
+    with pytest.raises(SpecificationError):
+        MacroArchitecture(column_split=4).validate_against(spec)
+    MacroArchitecture(column_split=2).validate_against(spec)
+
+
+def test_fa_levels_only_for_mixed():
+    with pytest.raises(SpecificationError):
+        MacroArchitecture(tree_style="rca", tree_fa_levels=2)
+
+
+def test_invalid_knob_values():
+    with pytest.raises(SpecificationError):
+        MacroArchitecture(memcell="SRAM4T")
+    with pytest.raises(SpecificationError):
+        MacroArchitecture(column_split=3)
+    with pytest.raises(SpecificationError):
+        MacroArchitecture(driver_strength=16)
+    with pytest.raises(SpecificationError):
+        MacroArchitecture(ofu_pipeline=5)
+
+
+def test_replace_is_functional():
+    a = MacroArchitecture()
+    b = a.replace(ofu_csel=True)
+    assert b.ofu_csel and not a.ofu_csel
+    assert a == MacroArchitecture()
+
+
+def test_knob_summary_distinguishes_points():
+    a = MacroArchitecture()
+    b = a.replace(tree_fa_levels=2)
+    c = a.replace(ofu_csel=True)
+    assert len({a.knob_summary(), b.knob_summary(), c.knob_summary()}) == 3
+
+
+def test_subtree_inputs():
+    spec = MacroSpec(height=64, width=64)
+    assert MacroArchitecture(column_split=2).subtree_inputs(spec) == 32
+    assert MacroArchitecture(column_split=4).subtree_inputs(spec) == 16
+
+
+def test_tree_levels_monotone_in_height():
+    arch = MacroArchitecture(tree_style="cmp42")
+    l32 = arch.tree_levels(MacroSpec(height=32, width=32))
+    l256 = arch.tree_levels(MacroSpec(height=256, width=256))
+    assert l256 > l32
+
+
+def test_architecture_space_respects_spec():
+    spec = MacroSpec(height=64, width=64, mcr=4)
+    space = architecture_space(spec)
+    assert space, "space must be non-empty"
+    assert all(p.mult_style != "oai22" for p in space)
+    spec2 = MacroSpec(height=64, width=64, mcr=2)
+    assert any(p.mult_style == "oai22" for p in architecture_space(spec2))
+
+
+def test_architecture_space_points_all_valid():
+    spec = MacroSpec(
+        height=16, width=16, input_formats=(INT4,), weight_formats=(INT4,)
+    )
+    for point in architecture_space(spec):
+        point.validate_against(spec)
+
+
+def test_default_architecture_helper():
+    spec = MacroSpec()
+    assert default_architecture(spec) == MacroArchitecture()

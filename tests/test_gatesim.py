@@ -1,0 +1,126 @@
+"""Gate-level simulator semantics: levelization, forcing, master-slave
+clocking."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.rtl.ir import Module, NetlistBuilder
+from repro.sim.gatesim import GateSimulator
+from repro.tech.stdcells import default_library
+
+LIB = default_library()
+
+
+def test_combinational_evaluation():
+    b = NetlistBuilder("c")
+    a, c = b.inputs("a")[0], b.inputs("c")[0]
+    y = b.outputs("y")[0]
+    n = b.xor2(a, c)
+    b.cell("BUF_X2", A=n, Y=y)
+    sim = GateSimulator(b.finish(), LIB)
+    for av in (0, 1):
+        for cv in (0, 1):
+            sim.set_input("a", av)
+            sim.set_input("c", cv)
+            sim.evaluate()
+            assert sim.net("y") == av ^ cv
+
+
+def test_register_master_slave_semantics():
+    """A two-stage shift register must shift exactly one position per
+    edge — catching any read-new-value race."""
+    b = NetlistBuilder("sr")
+    d = b.inputs("d")[0]
+    clk = b.inputs("clk")[0]
+    q = b.outputs("q")[0]
+    b.module.set_clocks([clk])
+    s1 = b.dff(d, clk)
+    s2 = b.dff(s1, clk)
+    b.cell("BUF_X2", A=s2, Y=q)
+    sim = GateSimulator(b.finish(), LIB)
+    sim.reset_state()
+    seen = []
+    pattern = [1, 0, 1, 1, 0, 0, 1]
+    for bit in pattern:
+        sim.set_input("d", bit)
+        sim.clock()
+        seen.append(sim.net("q"))
+    # q after edge i shows the bit applied at edge i-1 (two flops, but
+    # observation happens after the same edge that loads stage 1).
+    assert seen == [0] + pattern[:-1]
+
+
+def test_force_overrides_driver():
+    b = NetlistBuilder("f")
+    a = b.inputs("a")[0]
+    y = b.outputs("y")[0]
+    n = b.inv(a)
+    b.cell("BUF_X2", A=n, Y=y)
+    m = b.finish()
+    sim = GateSimulator(m, LIB)
+    inv_net = n
+    sim.set_input("a", 0)
+    sim.force(inv_net, 0)  # would be 1 naturally
+    sim.evaluate()
+    assert sim.net("y") == 0
+    sim.release(inv_net)
+    sim.evaluate()
+    assert sim.net("y") == 1
+
+
+def test_memory_outputs_are_forceable():
+    m = Module("mem")
+    m.add_port("wl", "input")
+    m.add_port("y", "output")
+    m.add_net("rd")
+    m.add_instance("cell", "DCIM6T", {"WL": "wl", "RD": "rd"})
+    m.add_instance("buf", "BUF_X2", {"A": "rd", "Y": "y"})
+    sim = GateSimulator(m, LIB)
+    sim.force("rd", 1)
+    sim.evaluate()
+    assert sim.net("y") == 1
+    sim.force("rd", 0)
+    sim.evaluate()
+    assert sim.net("y") == 0
+
+
+def test_unknown_net_rejected():
+    b = NetlistBuilder("x")
+    b.inputs("a")
+    y = b.outputs("y")[0]
+    b.cell("BUF_X2", A="a", Y=y)
+    sim = GateSimulator(b.finish(), LIB)
+    with pytest.raises(SimulationError):
+        sim.net("nope")
+    with pytest.raises(SimulationError):
+        sim.set_input("nope", 1)
+    with pytest.raises(SimulationError):
+        sim.force("nope", 1)
+
+
+def test_bus_helpers():
+    b = NetlistBuilder("bus")
+    d = b.inputs("d", 4)
+    q = b.outputs("q", 4)
+    for i in range(4):
+        b.cell("BUF_X2", A=d[i], Y=q[i])
+    sim = GateSimulator(b.finish(), LIB)
+    sim.set_bus("d", [1, 0, 1, 1])  # LSB first: value -3 as int4
+    sim.evaluate()
+    assert sim.bus("q", 4) == [1, 0, 1, 1]
+    assert sim.bus_int("q", 4) == -3
+
+
+def test_levelization_counts_all_cells(small_spec, default_arch):
+    from repro.rtl.gen.macro import generate_macro
+
+    mac, _ = generate_macro(small_spec, default_arch)
+    flat = mac.flatten()
+    sim = GateSimulator(flat, LIB)
+    comb = sum(
+        1
+        for i in flat.instances
+        if not LIB.cell(i.cell_name).is_sequential
+        and not LIB.cell(i.cell_name).is_memory
+    )
+    assert len(sim._comb_order) == comb

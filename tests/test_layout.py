@@ -1,0 +1,184 @@
+"""Layout substrate: geometry, SDP placement, routing, DRC, LVS, GDS."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import MacroArchitecture
+from repro.errors import LayoutError
+from repro.layout.drc import run_drc
+from repro.layout.gds import read_gds_json, write_gds_json
+from repro.layout.geometry import (
+    Rect,
+    bounding_box,
+    half_perimeter,
+    sweep_overlaps,
+)
+from repro.layout.lvs import run_lvs
+from repro.layout.route import estimate_routing
+from repro.layout.sdp import SDPParams, place_macro
+from repro.rtl.gen.macro import generate_macro_with_array
+from repro.spec import INT4, MacroSpec
+
+
+@pytest.fixture(scope="module")
+def placed_small(library):
+    spec = MacroSpec(
+        height=8, width=8, mcr=2, input_formats=(INT4,), weight_formats=(INT4,)
+    )
+    module, _ = generate_macro_with_array(spec, MacroArchitecture())
+    flat = module.flatten()
+    placement = place_macro(flat, library)
+    return flat, placement
+
+
+class TestGeometry:
+    def test_rect_properties(self):
+        r = Rect(1.0, 2.0, 4.0, 6.0)
+        assert r.width == 3.0 and r.height == 4.0 and r.area == 12.0
+        assert r.center == (2.5, 4.0)
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(LayoutError):
+            Rect(2.0, 0.0, 1.0, 1.0)
+
+    def test_overlap_semantics(self):
+        a = Rect(0, 0, 2, 2)
+        assert a.overlaps(Rect(1, 1, 3, 3))
+        assert not a.overlaps(Rect(2, 0, 4, 2))  # shared edge
+        assert not a.overlaps(Rect(5, 5, 6, 6))
+
+    def test_contains(self):
+        outer = Rect(0, 0, 10, 10)
+        assert outer.contains(Rect(1, 1, 9, 9))
+        assert not outer.contains(Rect(5, 5, 11, 9))
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(0, 50), st.floats(0, 50), st.floats(0.5, 3), st.floats(0.5, 3)
+            ),
+            min_size=2,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_sweep_matches_bruteforce(self, raw):
+        rects = [
+            (f"r{i}", Rect(x, y, x + w, y + h))
+            for i, (x, y, w, h) in enumerate(raw)
+        ]
+        swept = {frozenset(p) for p in sweep_overlaps(rects)}
+        brute = set()
+        for i in range(len(rects)):
+            for j in range(i + 1, len(rects)):
+                if rects[i][1].overlaps(rects[j][1]):
+                    brute.add(frozenset((rects[i][0], rects[j][0])))
+        assert swept == brute
+
+    def test_hpwl(self):
+        assert half_perimeter([(0, 0), (3, 4)]) == 7.0
+        with pytest.raises(LayoutError):
+            bounding_box([])
+
+
+class TestSDP:
+    def test_all_instances_placed(self, placed_small):
+        flat, placement = placed_small
+        assert set(placement.cells) == {i.name for i in flat.instances}
+
+    def test_sram_cells_on_grid(self, placed_small, library):
+        flat, placement = placed_small
+        ys = set()
+        for inst in flat.instances:
+            if library.cell(inst.cell_name).is_memory:
+                rect = placement.cells[inst.name]
+                ys.add(round(rect.y0, 4))
+        # Grid: row pitch equals the SRAM cell height (1.0 um).
+        ys = sorted(ys)
+        steps = {round(b - a, 4) for a, b in zip(ys, ys[1:])}
+        assert steps == {1.0}
+
+    def test_columns_ordered_left_to_right(self, placed_small):
+        flat, placement = placed_small
+        def col_x(c):
+            xs = [
+                placement.cells[i.name].x0
+                for i in flat.instances
+                if f"/col{c}_" in i.name or i.name.startswith(f"core_") and f"col{c}_" in i.name
+            ]
+            return min(xs)
+        assert col_x(0) < col_x(3) < col_x(7)
+
+    def test_utilization_reasonable(self, placed_small):
+        _, placement = placed_small
+        assert 0.3 < placement.utilization <= 0.95
+
+    def test_params_validated(self):
+        with pytest.raises(LayoutError):
+            SDPParams(utilization=0.1)
+
+    def test_outline_described(self, placed_small):
+        _, placement = placed_small
+        text = placement.describe()
+        assert "mm^2" in text and "pitch" in text
+
+
+class TestRouteDrcLvs:
+    def test_drc_clean(self, placed_small, library):
+        flat, placement = placed_small
+        assert run_drc(flat, placement, library).clean
+
+    def test_lvs_clean_and_detects_tamper(self, placed_small):
+        flat, placement = placed_small
+        report = run_lvs(flat, placement)
+        assert report.clean
+        # Tamper: drop an instance from the layout.
+        broken_cells = dict(placement.cells)
+        victim = next(iter(broken_cells))
+        del broken_cells[victim]
+        import dataclasses
+
+        broken = dataclasses.replace(placement, cells=broken_cells)
+        bad = run_lvs(flat, broken)
+        assert not bad.clean
+        assert any(m.kind == "missing" for m in bad.mismatches)
+
+    def test_routing_estimate(self, placed_small, library, process):
+        flat, placement = placed_small
+        est = estimate_routing(flat, placement, library, process)
+        assert est.total_wirelength_um > 0
+        assert 0 < est.congestion < 1.0
+        # wire loads are consistent with lengths
+        some_net = max(est.net_lengths_um, key=est.net_lengths_um.get)
+        assert est.net_caps_ff[some_net] == pytest.approx(
+            process.wire_cap_ff(est.net_lengths_um[some_net])
+        )
+
+    def test_wire_load_fn_defaults_to_zero(self, placed_small, library, process):
+        flat, placement = placed_small
+        est = estimate_routing(flat, placement, library, process)
+        fn = est.wire_load_fn()
+        assert fn("nonexistent_net") == 0.0
+
+
+class TestGDS:
+    def test_roundtrip(self, placed_small, library):
+        flat, placement = placed_small
+        text = write_gds_json(flat, placement, library)
+        back = read_gds_json(text)
+        assert len(back["instances"]) == len(placement.cells)
+        assert back["header"]["design"] == flat.name
+
+    def test_layers_distinguish_sram(self, placed_small, library):
+        flat, placement = placed_small
+        back = read_gds_json(write_gds_json(flat, placement, library))
+        layers = {rec["layer"] for rec in back["instances"].values()}
+        assert 10 in layers and 20 in layers
+
+    def test_truncated_stream_rejected(self, placed_small, library):
+        flat, placement = placed_small
+        text = write_gds_json(flat, placement, library)
+        truncated = "\n".join(text.splitlines()[:-1])
+        with pytest.raises(LayoutError):
+            read_gds_json(truncated)

@@ -1,0 +1,56 @@
+"""Structural Verilog emission."""
+
+import re
+
+from repro.rtl.ir import NetlistBuilder
+from repro.rtl.verilog import count_instances, emit_verilog
+from repro.rtl.gen.addertree import generate_adder_tree
+
+
+def _small_module():
+    b = NetlistBuilder("demo")
+    a = b.inputs("a", 2)
+    y = b.outputs("y")[0]
+    n = b.and2(a[0], a[1])
+    b.cell("BUF_X2", A=n, Y=y)
+    return b.finish()
+
+
+def test_module_header_and_end():
+    v = emit_verilog(_small_module())
+    assert v.startswith("module demo (")
+    assert v.rstrip().endswith("endmodule")
+
+
+def test_bus_ports_declared_as_vectors():
+    v = emit_verilog(_small_module())
+    assert re.search(r"input \[1:0\] a;", v)
+    assert "output y;" in v
+
+
+def test_instances_emitted_with_connections():
+    v = emit_verilog(_small_module())
+    assert ".A(" in v and ".Y(" in v
+    assert "AND2_X1" in v and "BUF_X2" in v
+
+
+def test_hierarchical_names_escaped():
+    tree, _ = generate_adder_tree(8, "cmp42")
+    flat = tree.flatten()
+    v = emit_verilog(flat)
+    # escaped identifiers start with backslash and end with a space
+    assert "\\" in v
+
+
+def test_count_instances_matches_leafs():
+    m = _small_module()
+    v = emit_verilog(m)
+    assert count_instances(v) == m.leaf_count()
+
+
+def test_generated_tree_verilog_is_consistent():
+    tree, stats = generate_adder_tree(16, "mixed", fa_levels=1)
+    flat = tree.flatten()
+    v = emit_verilog(flat)
+    assert v.count("CMP42_X1") == stats.compressors
+    assert v.count("FA_X1") == stats.full_adders

@@ -1,0 +1,95 @@
+"""Shmoo engine and measured-efficiency model."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.shmoo import measure_efficiency, run_shmoo
+from repro.tech.process import GENERIC_40NM
+
+
+class TestShmoo:
+    def _grid(self, crit=0.9, sigma=0.0):
+        voltages = [0.6, 0.7, 0.8, 0.9, 1.0, 1.1, 1.2]
+        freqs = [100 * i for i in range(1, 14)]
+        return run_shmoo(crit, GENERIC_40NM, voltages, freqs, sigma=sigma)
+
+    def test_pass_region_monotone_in_voltage(self):
+        res = self._grid()
+        # at a fixed frequency, passing at V implies passing at V' > V
+        for j in range(len(res.frequencies_mhz)):
+            col = [res.passed[i][j] for i in range(len(res.voltages))]
+            # voltages ascending; once True stays True
+            seen = False
+            for p in col:
+                if seen:
+                    assert p
+                seen = seen or p
+
+    def test_pass_region_monotone_in_frequency(self):
+        res = self._grid()
+        for i in range(len(res.voltages)):
+            row = res.passed[i]
+            # frequencies ascending; once False stays False
+            failed = False
+            for p in row:
+                if failed:
+                    assert not p
+                failed = failed or not p
+
+    def test_max_frequency_tracks_delay_scale(self):
+        res = self._grid()
+        assert res.max_frequency_mhz(1.2) > res.max_frequency_mhz(0.7) * 2.5
+
+    def test_deterministic_with_seed(self):
+        a = self._grid(sigma=0.05)
+        b = self._grid(sigma=0.05)
+        assert a.passed == b.passed
+
+    def test_render_shape(self):
+        res = self._grid()
+        text = res.render()
+        lines = text.splitlines()
+        assert len(lines) == len(res.voltages) + 1
+        assert "P" in text and "." in text
+
+    def test_rejects_bad_critical_path(self):
+        with pytest.raises(SimulationError):
+            run_shmoo(0.0, GENERIC_40NM, [0.9], [100.0])
+
+
+class TestMeasuredEfficiency:
+    def _measure(self, **kw):
+        args = dict(
+            energy_per_mac_cycle_pj=120.0,
+            leakage_mw=0.2,
+            critical_path_ns=1.0,
+            area_um2=112000.0,
+            process=GENERIC_40NM,
+            vdd=0.7,
+            height=64,
+            width=64,
+            input_bits=4,
+            weight_bits=4,
+        )
+        args.update(kw)
+        return measure_efficiency(**args)
+
+    def test_sparsity_boosts_tops_per_watt(self):
+        dense = self._measure()
+        sparse = self._measure(input_sparsity=0.875, weight_sparsity=0.5)
+        assert sparse.tops_per_watt > 5 * dense.tops_per_watt
+
+    def test_low_voltage_more_efficient_but_slower(self):
+        lo = self._measure(vdd=0.7)
+        hi = self._measure(vdd=1.2)
+        assert lo.tops_per_watt > hi.tops_per_watt
+        assert hi.frequency_mhz > lo.frequency_mhz
+
+    def test_1b_scaling(self):
+        m = self._measure()
+        assert m.tops_per_watt_1b == pytest.approx(16 * m.tops_per_watt)
+        assert m.tops_per_mm2_1b == pytest.approx(16 * m.tops_per_mm2)
+
+    def test_sparsity_validated(self):
+        with pytest.raises(SimulationError):
+            self._measure(input_sparsity=1.0)

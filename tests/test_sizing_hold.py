@@ -1,0 +1,104 @@
+"""Gate sizing pass and hold-time analysis."""
+
+import pytest
+
+from repro.rtl.ir import NetlistBuilder
+from repro.sim.gatesim import GateSimulator
+from repro.sta.analysis import analyze, analyze_hold, minimum_period_ns
+from repro.synth.sizing import UPSIZE, size_for_timing
+
+
+def _loaded_chain(n_stages=6, fanout=24):
+    """Inverter chain where each stage drives a heavy fanout — prime
+    territory for upsizing."""
+    b = NetlistBuilder("loaded")
+    a = b.inputs("a")[0]
+    y = b.outputs("y")[0]
+    node = a
+    for s in range(n_stages):
+        nxt = b.inv(node)
+        for f in range(fanout):
+            b.cell("INV_X1", hint="load", A=nxt, Y=b.net("sink"))
+        node = nxt
+    b.cell("BUF_X2", A=node, Y=y)
+    return b.finish()
+
+
+class TestSizing:
+    def test_sizing_improves_loaded_path(self, library):
+        m = _loaded_chain()
+        base = minimum_period_ns(m, library)
+        sized, report, moves = size_for_timing(
+            m, library, clock_period_ns=base * 0.6
+        )
+        assert moves > 0
+        assert report.critical_path_ns < base
+
+    def test_sizing_stops_when_met(self, library):
+        m = _loaded_chain(n_stages=3, fanout=4)
+        need = minimum_period_ns(m, library) * 2.0
+        sized, report, moves = size_for_timing(m, library, need)
+        assert report.met
+        assert moves == 0  # already met, no churn
+
+    def test_sizing_preserves_function(self, library):
+        m = _loaded_chain(n_stages=5, fanout=8)
+        base = minimum_period_ns(m, library)
+        sized, _, moves = size_for_timing(m, library, base * 0.5)
+        assert moves > 0
+        s1, s2 = GateSimulator(m, library), GateSimulator(sized, library)
+        for a in (0, 1):
+            s1.set_input("a", a)
+            s2.set_input("a", a)
+            s1.evaluate()
+            s2.evaluate()
+            assert s1.net("y") == s2.net("y")
+
+    def test_upsize_map_targets_exist(self, library):
+        for small, big in UPSIZE.items():
+            assert small in library and big in library
+            assert (
+                library.cell(big).area_um2 > library.cell(small).area_um2
+            )
+
+    def test_sizing_on_column_slice(self, library, small_spec, default_arch):
+        from repro.rtl.gen.macro import generate_column_slice
+
+        flat = generate_column_slice(small_spec, default_arch).flatten()
+        base = minimum_period_ns(flat, library)
+        _, report, moves = size_for_timing(flat, library, base * 0.8)
+        # Either the path has sizable cells (improvement) or it is
+        # FA-bound (no moves); both are legal, regression guards the API.
+        assert report.critical_path_ns <= base + 1e-6
+
+
+class TestHold:
+    def test_registered_pipeline_hold_clean(self, library):
+        b = NetlistBuilder("pipe")
+        d = b.inputs("d")[0]
+        clk = b.inputs("clk")[0]
+        q = b.outputs("q")[0]
+        b.module.set_clocks([clk])
+        s1 = b.dff(d, clk)
+        inv = b.inv(s1)
+        s2 = b.dff(inv, clk)
+        b.cell("BUF_X2", A=s2, Y=q)
+        report = analyze_hold(b.finish(), library)
+        # clk-to-q (85 ps) + inverter delay >> 10 ps hold.
+        assert report.met
+        # bound by the external input-delay assumption (50 ps)
+        assert report.worst_slack_ns >= 0.03
+
+    def test_hold_on_macro(self, library, small_spec, default_arch):
+        from repro.rtl.gen.macro import generate_macro
+
+        mac, _ = generate_macro(small_spec, default_arch)
+        report = analyze_hold(mac.flatten(), library)
+        assert report.met, report
+
+    def test_hold_report_fields(self, library, small_spec, default_arch):
+        from repro.rtl.gen.macro import generate_macro
+
+        mac, _ = generate_macro(small_spec, default_arch)
+        report = analyze_hold(mac.flatten(), library)
+        assert report.endpoint  # names a real data pin net

@@ -1,0 +1,159 @@
+"""Specification objects: formats, PPA weights, derived dimensions."""
+
+import math
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.spec import (
+    BF16,
+    FP4,
+    FP8,
+    INT1,
+    INT4,
+    INT8,
+    DataFormat,
+    MacroSpec,
+    PPAWeights,
+    parse_format,
+    spec_from_strings,
+)
+
+
+class TestDataFormat:
+    def test_int_formats(self):
+        assert INT4.bits == 4 and not INT4.is_float
+        assert INT4.serial_bits == 4
+        assert INT4.storage_bits == 4
+
+    def test_fp8_is_e4m3(self):
+        assert FP8.exponent == 4 and FP8.mantissa == 3
+        assert FP8.bias == 7
+        assert FP8.serial_bits == 5  # sign + hidden + 3 mantissa
+
+    def test_bf16_split(self):
+        assert BF16.exponent == 8 and BF16.mantissa == 7
+        assert BF16.bits == 16
+        assert BF16.serial_bits == 9
+
+    def test_alignment_window_clamped(self):
+        # FP8: raw max shift 15, clamped at 2*(3+2)=10.
+        assert FP8.alignment_window == 10
+        # FP4: raw max shift 3 < clamp 6.
+        assert FP4.alignment_window == 3
+        assert INT8.alignment_window == 0
+
+    def test_invalid_fp_split_rejected(self):
+        with pytest.raises(SpecificationError):
+            DataFormat(name="BAD", kind="fp", bits=8, exponent=5, mantissa=3)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SpecificationError):
+            DataFormat(name="X", kind="fixed", bits=8)
+
+    def test_parse_format(self):
+        assert parse_format("int8") is INT8
+        assert parse_format("BF16") is BF16
+        with pytest.raises(SpecificationError):
+            parse_format("INT7")
+
+
+class TestPPAWeights:
+    def test_score_is_monotone_in_each_axis(self):
+        w = PPAWeights()
+        base = w.score(10.0, 1.0, 100.0)
+        assert w.score(20.0, 1.0, 100.0) > base
+        assert w.score(10.0, 2.0, 100.0) > base
+        assert w.score(10.0, 1.0, 200.0) > base
+
+    def test_weighting_shifts_preference(self):
+        power_heavy = PPAWeights(power=5.0, performance=1.0, area=1.0)
+        area_heavy = PPAWeights(power=1.0, performance=1.0, area=5.0)
+        # Design A: low power, big; design B: high power, small.
+        a = (1.0, 1.0, 1000.0)
+        b = (10.0, 1.0, 100.0)
+        assert power_heavy.score(*a) < power_heavy.score(*b)
+        assert area_heavy.score(*b) < area_heavy.score(*a)
+
+    def test_normalized_sums_to_one(self):
+        n = PPAWeights(2.0, 3.0, 5.0).normalized()
+        assert n.power + n.performance + n.area == pytest.approx(1.0)
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(SpecificationError):
+            PPAWeights(0.0, 0.0, 0.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(SpecificationError):
+            PPAWeights(-1.0, 1.0, 1.0)
+
+
+class TestMacroSpec:
+    def test_defaults_valid(self):
+        spec = MacroSpec()
+        assert spec.height == 64 and spec.width == 64 and spec.mcr == 2
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(SpecificationError):
+            MacroSpec(height=48)
+        with pytest.raises(SpecificationError):
+            MacroSpec(width=60)
+
+    def test_mcr_range(self):
+        with pytest.raises(SpecificationError):
+            MacroSpec(mcr=0)
+        with pytest.raises(SpecificationError):
+            MacroSpec(mcr=16)
+
+    def test_derived_widths_64(self):
+        spec = MacroSpec(
+            height=64, width=64, input_formats=(INT8,), weight_formats=(INT8,)
+        )
+        assert spec.tree_sum_width == 7  # floor(log2 64)+1
+        assert spec.input_width == 8
+        assert spec.accumulator_width == 15
+        assert spec.max_weight_bits == 8
+        assert spec.ofu_stages == 3
+
+    def test_fp_inputs_set_serial_width(self):
+        spec = MacroSpec(
+            height=64,
+            width=64,
+            input_formats=(INT4, FP8),
+            weight_formats=(INT4,),
+        )
+        assert spec.input_width == 5  # FP8 significand
+        assert spec.needs_fp
+
+    def test_int1_weights_ride_int2_path(self):
+        spec = MacroSpec(
+            height=8, width=8, input_formats=(INT1,), weight_formats=(INT1,)
+        )
+        assert spec.max_weight_bits == 2
+
+    def test_sram_rows_with_mcr(self):
+        spec = MacroSpec(height=64, width=64, mcr=4)
+        assert spec.sram_rows == 256
+        assert spec.storage_bits == 256 * 64
+
+    def test_mac_period(self):
+        spec = MacroSpec(mac_frequency_mhz=800.0)
+        assert spec.mac_period_ns == pytest.approx(1.25)
+
+    def test_replace_creates_new(self):
+        spec = MacroSpec()
+        other = spec.replace(height=128)
+        assert other.height == 128 and spec.height == 64
+
+    def test_describe_mentions_formats(self):
+        s = MacroSpec(input_formats=(INT4, FP8), weight_formats=(INT4,))
+        assert "FP8" in s.describe() and "INT4" in s.describe()
+
+    def test_vdd_window(self):
+        with pytest.raises(SpecificationError):
+            MacroSpec(vdd=0.3)
+
+    def test_spec_from_strings(self):
+        spec = spec_from_strings(32, 32, 2, ["INT4", "FP8"])
+        assert spec.height == 32
+        assert FP8 in spec.input_formats

@@ -1,0 +1,56 @@
+"""Unit-algebra helpers."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+def test_period_frequency_roundtrip():
+    assert units.period_ns(800.0) == pytest.approx(1.25)
+    assert units.frequency_mhz(1.25) == pytest.approx(800.0)
+    for f in (1.0, 123.4, 5000.0):
+        assert units.frequency_mhz(units.period_ns(f)) == pytest.approx(f)
+
+
+def test_period_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        units.period_ns(0.0)
+    with pytest.raises(ValueError):
+        units.frequency_mhz(-1.0)
+
+
+def test_switching_energy_cv2():
+    # 10 fF at 1 V -> 10 fJ == 0.01 pJ.
+    assert units.switching_energy_pj(10.0, 1.0) == pytest.approx(0.01)
+    # quadratic in V
+    e09 = units.switching_energy_pj(10.0, 0.9)
+    e18 = units.switching_energy_pj(10.0, 1.8)
+    assert e18 / e09 == pytest.approx(4.0)
+
+
+def test_dynamic_power():
+    # 100 pJ/cycle at 1000 MHz = 100 mW.
+    assert units.dynamic_power_mw(100.0, 1000.0) == pytest.approx(100.0)
+
+
+def test_tops_per_watt():
+    # 1024 ops/cycle at 1000 MHz and 1 W -> 1.024 TOPS/W.
+    assert units.tops_per_watt(1024, 1000.0, 1000.0) == pytest.approx(1.024)
+    with pytest.raises(ValueError):
+        units.tops_per_watt(1, 1.0, 0.0)
+
+
+def test_tops_per_mm2():
+    # 2048 ops/cycle @ 500 MHz over 1 mm^2.
+    v = units.tops_per_mm2(2048, 500.0, 1e6)
+    assert v == pytest.approx(2048 * 500e6 / 1e12)
+    with pytest.raises(ValueError):
+        units.tops_per_mm2(1, 1.0, 0.0)
+
+
+def test_power_energy_consistency():
+    energy = units.switching_energy_pj(50.0, 0.9)
+    power = units.dynamic_power_mw(energy, 800.0)
+    assert power == pytest.approx(energy * 0.8, rel=1e-12)
