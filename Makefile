@@ -1,0 +1,24 @@
+# Development targets (see README.md "Development").
+#
+# Works from a plain checkout (PYTHONPATH=src) or an editable install.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench lint install
+
+test:  ## tier-1 suite: unit tests + benchmark reproductions
+	$(PYTHON) -m pytest -x -q
+
+bench:  ## benchmark suite only, with timing columns
+	$(PYTHON) -m pytest benchmarks -q --benchmark-columns=mean,stddev,ops
+
+lint:  ## ruff, if installed (CI always runs it)
+	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
+		$(PYTHON) -m ruff check src tests benchmarks examples; \
+	else \
+		echo "ruff not installed; pip install ruff (or pip install -e '.[dev]')"; \
+	fi
+
+install:  ## editable install with dev extras
+	$(PYTHON) -m pip install -e '.[dev]'

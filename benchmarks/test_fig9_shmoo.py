@@ -50,16 +50,30 @@ def test_fig9_shmoo(benchmark, testchip_implementation, process, save_result):
     )
 
 
+SIGMAS = (0.0, 0.02, 0.05, 0.10)
+
+
+def _shmoo_at(args):
+    """Top-level so the batch engine's process pool can pickle it."""
+    crit, process, sigma = args
+    return run_shmoo(crit, process, VOLTAGES, FREQS, sigma=sigma)
+
+
 @pytest.mark.benchmark(group="fig9")
 def test_fig9_variation_sensitivity(benchmark, testchip_implementation,
-                                    process, save_result):
+                                    process, save_result, batch_engine):
     """The ragged edge: more on-die variation erodes the pass region but
     never violates monotonicity of the boundary."""
     crit = testchip_implementation.implementation.min_period_ns
+    if batch_engine is not None:
+        sweeps = batch_engine.map(
+            _shmoo_at, [(crit, process, s) for s in SIGMAS]
+        )
+    else:
+        sweeps = [_shmoo_at((crit, process, s)) for s in SIGMAS]
     rows = []
     prev_pass = None
-    for sigma in (0.0, 0.02, 0.05, 0.10):
-        res = run_shmoo(crit, process, VOLTAGES, FREQS, sigma=sigma)
+    for sigma, res in zip(SIGMAS, sweeps):
         n_pass = sum(sum(row) for row in res.passed)
         rows.append([sigma, n_pass, round(res.max_frequency_mhz(1.2), 0)])
         if prev_pass is not None:

@@ -79,4 +79,8 @@ def __getattr__(name: str):
         from .compiler.syndcim import SynDCIM
 
         return SynDCIM
+    if name == "BatchCompiler":
+        from .batch.engine import BatchCompiler
+
+        return BatchCompiler
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

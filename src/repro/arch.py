@@ -129,6 +129,17 @@ class MacroArchitecture:
     def replace(self, **changes: object) -> "MacroArchitecture":
         return dataclasses.replace(self, **changes)
 
+    def to_dict(self) -> dict:
+        """JSON-serializable description (inverse of :meth:`from_dict`);
+        lets the batch engine ship explicit architecture choices to
+        worker processes and store them in cached results."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MacroArchitecture":
+        known = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
     def knob_summary(self) -> str:
         parts = [
             self.memcell,

@@ -1,4 +1,8 @@
-"""Baseline compilers and published-macro models for the comparisons."""
+"""Baseline compilers and published-macro models for the comparisons.
+
+See ``docs/architecture.md`` for how this package fits the
+spec-to-layout pipeline.
+"""
 
 from .autodcim import AutoDCIMCompiler, AutoDCIMResult, template_architecture
 from .arctic import ArcticCompiler, ArcticResult

@@ -1,0 +1,47 @@
+"""Batch compilation: many specs, one engine, a persistent cache.
+
+The paper's headline is *multi-spec-oriented* compilation — one
+compiler serving many (height, width, MCR, format, frequency) points.
+This package turns the single-spec :class:`~repro.compiler.syndcim.SynDCIM`
+facade into a design-space instrument:
+
+* :mod:`repro.batch.jobs` — content-hashed job descriptions;
+* :mod:`repro.batch.cache` — the on-disk JSON result store
+  (``~/.cache/repro`` by default) that makes repeated sweeps free;
+* :mod:`repro.batch.engine` — :class:`BatchCompiler`: dedup, cache
+  lookup, ``concurrent.futures`` process pool, progress reporting;
+* :mod:`repro.batch.sweep` — the range grammar (``32:256:x2``)
+  expanding CLI axes into spec grids;
+* :mod:`repro.batch.summarize` — Pareto/scaling reports over a sweep's
+  JSONL records.
+
+See ``docs/architecture.md`` for how this package sits on top of the
+search and implementation layers.
+"""
+
+from .cache import CACHE_SCHEMA_VERSION, CacheStats, ResultCache
+from .engine import BatchCompiler, BatchResult, BatchStats
+from .jobs import CompileJob, ImplementJob
+from .sweep import expand_grid, parse_axis, parse_format_sets, parse_range
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "BatchCompiler",
+    "BatchResult",
+    "BatchStats",
+    "CacheStats",
+    "CompileJob",
+    "ImplementJob",
+    "ResultCache",
+    "expand_grid",
+    "parse_axis",
+    "parse_format_sets",
+    "parse_range",
+]
+
+# NOTE: `summarize` is deliberately NOT re-exported here.  A lazy
+# function re-export would be shadowed by the submodule of the same
+# name the moment `from repro.batch import summarize` runs (the import
+# system binds the module over the package attribute), leaving the
+# name resolving to two different objects.  Use
+# `from repro.batch.summarize import summarize`.

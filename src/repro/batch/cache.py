@@ -1,0 +1,153 @@
+"""Persistent on-disk result cache for compiled design points.
+
+Compiling one macro takes seconds to minutes (the implementation flow
+dominates); design-space sweeps revisit the same (spec, options) points
+constantly — re-running a sweep after editing a report, extending a grid
+that overlaps the previous one, two users exploring the same corner.
+The cache turns all of those into millisecond lookups.
+
+Layout: one JSON file per result under ``<root>/v1/<kk>/<key>.json``
+where ``key`` is the job's content hash (see
+:meth:`repro.batch.jobs.CompileJob.key`) and ``kk`` its first two hex
+digits (keeps directories small on big sweeps).  Files are written
+atomically (tempfile + ``os.replace``) so a killed sweep never leaves a
+truncated record behind; a corrupt or unreadable file reads as a miss
+and is overwritten on the next store.
+
+The default root is ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``; every
+CLI entry point takes ``--cache-dir`` to override it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+#: Bump when the record schema changes incompatibly; old entries are
+#: simply never looked up again (they live under the old version dir).
+CACHE_SCHEMA_VERSION = 1
+
+
+def _unlink_quietly(path: str) -> None:
+    try:
+        os.unlink(path)
+    except OSError:
+        pass
+
+
+def default_cache_dir() -> pathlib.Path:
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return pathlib.Path(env).expanduser()
+    return pathlib.Path("~/.cache/repro").expanduser()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one cache instance's lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    def describe(self) -> str:
+        return f"{self.hits} hits, {self.misses} misses, {self.stores} stores"
+
+
+@dataclass
+class ResultCache:
+    """Content-addressed JSON artifact store.
+
+    ``get``/``put`` speak plain dicts (the record schema of
+    :mod:`repro.compiler.syndcim`); the cache neither inspects nor
+    validates them beyond JSON round-tripping.
+    """
+
+    root: pathlib.Path = field(default_factory=default_cache_dir)
+    enabled: bool = True
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self.root = pathlib.Path(self.root).expanduser()
+
+    def _path(self, key: str) -> pathlib.Path:
+        return self.root / f"v{CACHE_SCHEMA_VERSION}" / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, object]]:
+        """Return the cached record for ``key``, or ``None`` on a miss.
+
+        Any read/parse failure (missing file, truncated JSON, wrong
+        type) counts as a miss — the caller recompiles and overwrites.
+        """
+        if not self.enabled:
+            return None
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                entry = json.load(fh)
+            record = entry["record"]
+            if not isinstance(record, dict):
+                raise ValueError("record is not an object")
+        except (OSError, ValueError, KeyError, TypeError):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return record
+
+    def put(self, key: str, record: Dict[str, object]) -> None:
+        """Store ``record`` under ``key`` atomically.
+
+        Mirrors :meth:`get`'s tolerance: an unwritable/full filesystem
+        degrades to "not cached" rather than raising — a cache store
+        failure must never abort the batch run that produced the
+        record.
+        """
+        if not self.enabled:
+            return
+        path = self._path(key)
+        entry = {
+            "key": key,
+            "schema": CACHE_SCHEMA_VERSION,
+            "created": time.time(),
+            "record": record,
+        }
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=path.parent, prefix=".tmp-", suffix=".json"
+            )
+        except OSError:
+            return
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(entry, fh)
+            os.replace(tmp, path)
+        except (OSError, TypeError, ValueError):
+            # TypeError/ValueError: record not JSON-serializable —
+            # still "not cached", never a batch abort.
+            _unlink_quietly(tmp)
+            return
+        except BaseException:
+            _unlink_quietly(tmp)
+            raise
+        self.stats.stores += 1
+
+    def __contains__(self, key: str) -> bool:
+        return self.enabled and self._path(key).is_file()
+
+    def entry_count(self) -> int:
+        """Number of records currently on disk (walks the store)."""
+        version_dir = self.root / f"v{CACHE_SCHEMA_VERSION}"
+        if not version_dir.is_dir():
+            return 0
+        # Exclude .tmp-* orphans left by a killed writer.
+        return sum(
+            1
+            for p in version_dir.glob("*/*.json")
+            if not p.name.startswith(".")
+        )

@@ -1,0 +1,352 @@
+"""The batch compilation engine.
+
+:class:`BatchCompiler` takes many jobs (full compiles of different
+specs, or implement-only runs of explicit architectures), deduplicates
+identical ones by content hash, satisfies what it can from the
+persistent :class:`~repro.batch.cache.ResultCache`, and schedules the
+remainder across a ``concurrent.futures`` process pool.  Workers
+receive plain-dict payloads and return plain-dict records (see
+:func:`repro.compiler.syndcim.execute_job`), so no live compiler
+objects ever cross a process boundary.
+
+Scheduling notes
+----------------
+* ``jobs=1`` (or a single pending job) runs inline in this process —
+  no pool, easier debugging, identical results.
+* On ``fork`` platforms the parent pre-builds the subcircuit library
+  before spawning workers, so every child inherits the ~3 s
+  characterization instead of redoing it.
+* Job failures are *data*: infeasible specs come back as
+  ``status="infeasible"`` records (and are cached — they are
+  deterministic), unexpected compiler errors as ``status="error"``
+  (not cached).  A sweep never dies half way because one grid corner
+  cannot meet timing.
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
+
+from ..arch import MacroArchitecture
+from ..spec import MacroSpec
+from .cache import ResultCache
+from .jobs import CompileJob, ImplementJob
+
+Job = Union[CompileJob, ImplementJob]
+Record = Dict[str, object]
+#: progress(done, total, record) — called after every job completion.
+ProgressFn = Callable[[int, int, Record], None]
+
+
+@dataclass
+class BatchStats:
+    """Work accounting for one batch run."""
+
+    total: int = 0
+    unique: int = 0
+    cache_hits: int = 0
+    compiled: int = 0
+    infeasible: int = 0
+    failed: int = 0
+    elapsed_s: float = 0.0
+
+    @property
+    def deduplicated(self) -> int:
+        return self.total - self.unique
+
+    @property
+    def cache_misses(self) -> int:
+        return self.unique - self.cache_hits
+
+    def cache_line(self) -> str:
+        """The one-line summary every batch CLI run prints; ``compiled 0``
+        is the proof that a repeated sweep ran entirely from cache."""
+        return (
+            f"cache: {self.cache_hits} hits, {self.cache_misses} misses; "
+            f"compiled {self.compiled}, folded {self.deduplicated} "
+            f"duplicate jobs; elapsed {self.elapsed_s:.1f}s"
+        )
+
+
+@dataclass
+class BatchResult:
+    """Records in input-job order plus the run's accounting."""
+
+    records: List[Record]
+    stats: BatchStats = field(default_factory=BatchStats)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @property
+    def ok(self) -> List[Record]:
+        return [r for r in self.records if r.get("status") == "ok"]
+
+    def describe(self) -> str:
+        statuses = [r.get("status") for r in self.records]
+        lines = [
+            f"batch of {self.stats.total} jobs: "
+            f"{statuses.count('ok')} ok, "
+            f"{statuses.count('infeasible')} infeasible, "
+            f"{statuses.count('error')} failed",
+            self.stats.cache_line(),
+        ]
+        return "\n".join(lines)
+
+
+class BatchCompiler:
+    """Compile many design points with dedup, caching and parallelism.
+
+    Parameters
+    ----------
+    jobs:
+        Worker-process count; ``None`` uses the CPU count, ``1`` runs
+        inline.
+    cache_dir / use_cache:
+        Where the persistent result store lives (default
+        ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``); ``use_cache=False``
+        disables both lookup and store.
+    seed:
+        Search-order seed forwarded to every compile job (part of the
+        cache key).
+    progress:
+        Optional callback invoked after each job resolves.
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        cache_dir: Optional[os.PathLike] = None,
+        use_cache: bool = True,
+        seed: Optional[int] = None,
+        progress: Optional[ProgressFn] = None,
+    ) -> None:
+        self.jobs = max(1, jobs if jobs is not None else (os.cpu_count() or 1))
+        if use_cache:
+            self.cache: Optional[ResultCache] = (
+                ResultCache(cache_dir) if cache_dir else ResultCache()
+            )
+        else:
+            self.cache = None
+        self.seed = seed
+        self.progress = progress
+
+    # -- job construction ---------------------------------------------------
+
+    def compile_specs(
+        self,
+        specs: Sequence[MacroSpec],
+        implement: bool = True,
+        input_sparsity: float = 0.0,
+        weight_sparsity: float = 0.0,
+    ) -> BatchResult:
+        """Full compile of every spec (the sweep entry point)."""
+        return self.run_jobs(
+            [
+                CompileJob(
+                    spec=spec,
+                    implement=implement,
+                    input_sparsity=input_sparsity,
+                    weight_sparsity=weight_sparsity,
+                    seed=self.seed,
+                )
+                for spec in specs
+            ]
+        )
+
+    def implement_archs(
+        self,
+        spec: MacroSpec,
+        archs: Sequence[MacroArchitecture],
+        input_sparsity: float = 0.0,
+        weight_sparsity: float = 0.0,
+    ) -> BatchResult:
+        """Implementation-only jobs for explicit architectures (used by
+        benchmarks that already ran the search and picked points)."""
+        return self.run_jobs(
+            [
+                ImplementJob(
+                    spec=spec,
+                    arch=arch,
+                    input_sparsity=input_sparsity,
+                    weight_sparsity=weight_sparsity,
+                )
+                for arch in archs
+            ]
+        )
+
+    # -- execution ----------------------------------------------------------
+
+    def run_jobs(self, jobs: Sequence[Job]) -> BatchResult:
+        """Dedup, consult the cache, execute the rest, reassemble."""
+        from ..compiler.syndcim import (
+            CACHEABLE_STATUSES,
+            _failure_record,
+            execute_job,
+        )
+
+        started = time.monotonic()
+        stats = BatchStats(total=len(jobs))
+        keys = [job.key() for job in jobs]
+        by_key: Dict[str, Job] = {}
+        for key, job in zip(keys, jobs):
+            by_key.setdefault(key, job)
+        stats.unique = len(by_key)
+
+        resolved: Dict[str, Record] = {}
+        pending: Dict[str, Job] = {}
+        for key, job in by_key.items():
+            cached = self.cache.get(key) if self.cache is not None else None
+            if cached is not None:
+                stats.cache_hits += 1
+                resolved[key] = dict(cached, cached=True, job_key=key)
+            else:
+                pending[key] = job
+
+        done = stats.cache_hits
+
+        def finish(key: str, record: Record, compiled: bool = True) -> None:
+            nonlocal done
+            if compiled:
+                stats.compiled += 1
+            status = record.get("status")
+            if self.cache is not None and status in CACHEABLE_STATUSES:
+                self.cache.put(key, record)
+            record = dict(record, cached=False, job_key=key)
+            resolved[key] = record
+            done += 1
+            if self.progress is not None:
+                self.progress(done, stats.unique, record)
+
+        if self.progress is not None:
+            for i, record in enumerate(resolved.values(), start=1):
+                self.progress(i, stats.unique, record)
+
+        if pending:
+            if self.jobs > 1 and len(pending) > 1:
+                self._prewarm()
+                # A broken pool (a worker OOM-killed or segfaulted)
+                # must not poison the jobs that never ran: retry the
+                # unfinished remainder in a fresh pool once, and only
+                # then give the stragglers error records.
+                remaining = dict(pending)
+                fatal: Optional[str] = None
+                for _attempt in range(2):
+                    if not remaining:
+                        break
+                    remaining, fatal = self._run_pool(remaining, finish)
+                    if fatal is None:
+                        break
+                for key, job in remaining.items():
+                    finish(
+                        key,
+                        dict(
+                            _failure_record(
+                                job.spec, "error", f"worker died: {fatal}"
+                            ),
+                            elapsed_s=0.0,
+                        ),
+                        compiled=False,
+                    )
+            else:
+                for key, job in pending.items():
+                    finish(key, execute_job(job.payload()))
+
+        # Deep copies so duplicate input specs don't alias nested dicts,
+        # and status tallies over the *returned* records (cache hits
+        # included — finish() never sees them).
+        records = [copy.deepcopy(resolved[key]) for key in keys]
+        statuses = [r.get("status") for r in records]
+        stats.infeasible = statuses.count("infeasible")
+        stats.failed = statuses.count("error")
+        stats.elapsed_s = time.monotonic() - started
+        return BatchResult(records=records, stats=stats)
+
+    def _run_pool(
+        self,
+        jobs_map: Dict[str, Job],
+        finish: Callable[..., None],
+    ) -> "tuple[Dict[str, Job], Optional[str]]":
+        """One process-pool pass over ``jobs_map``.
+
+        Returns (unfinished jobs, fatal reason): ``fatal`` is set when
+        the pool broke (a worker process died), in which case the
+        unfinished jobs were never attempted and are safe to retry.
+        If the caller's ``finish`` raises (e.g. the CLI aborting on a
+        closed output pipe), unstarted futures are cancelled so the
+        grid does not keep compiling into the void.
+        """
+        from concurrent.futures.process import BrokenProcessPool
+
+        from ..compiler.syndcim import _failure_record, execute_job
+
+        unfinished = dict(jobs_map)
+        fatal: Optional[str] = None
+        workers = min(self.jobs, len(jobs_map))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(execute_job, job.payload()): key
+                for key, job in jobs_map.items()
+            }
+            try:
+                for future in as_completed(futures):
+                    key = futures[future]
+                    try:
+                        record = future.result()
+                    except BrokenProcessPool as exc:
+                        fatal = f"{type(exc).__name__}: {exc}"
+                        break
+                    except Exception as exc:
+                        # A single-future failure with the pool still
+                        # alive (e.g. cancelled): record it, move on.
+                        record = dict(
+                            _failure_record(
+                                unfinished[key].spec,
+                                "error",
+                                f"worker died: {type(exc).__name__}: {exc}",
+                            ),
+                            elapsed_s=0.0,
+                        )
+                        finish(key, record, compiled=False)
+                        unfinished.pop(key, None)
+                        continue
+                    finish(key, record)
+                    unfinished.pop(key, None)
+            except BaseException:
+                pool.shutdown(wait=False, cancel_futures=True)
+                raise
+            if fatal is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
+        return unfinished, fatal
+
+    def map(self, fn: Callable, items: Iterable) -> List[object]:
+        """Order-preserving parallel map over picklable ``fn``/``items``
+        using this engine's worker budget; serial when ``jobs=1``."""
+        items = list(items)
+        if self.jobs <= 1 or len(items) <= 1:
+            return [fn(item) for item in items]
+        workers = min(self.jobs, len(items))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(fn, items))
+
+    @staticmethod
+    def _prewarm() -> None:
+        """Build the subcircuit library in the parent so fork-started
+        workers inherit it.  Skipped under spawn/forkserver: those
+        children start fresh interpreters and build their own SCL, so
+        a parent build would be pure wasted startup latency."""
+        import multiprocessing
+
+        if multiprocessing.get_start_method() != "fork":
+            return
+        from ..scl.library import default_scl
+
+        default_scl()

@@ -1,0 +1,100 @@
+"""Job descriptions for the batch engine.
+
+A *job* is everything a worker process needs to reproduce one
+compilation: the spec, the flow options and (for implement-only jobs)
+the explicit architecture.  Jobs convert to plain-dict payloads for the
+pool (consumed by :func:`repro.compiler.syndcim.execute_job`) and to a
+stable content-hash :meth:`key` for deduplication and the on-disk
+:class:`~repro.batch.cache.ResultCache`.
+
+Two jobs get the same key iff a compliant compiler would produce the
+same record for both — so the key covers the spec, every option that
+steers the flow, the process node and the schema version, and nothing
+else (no timestamps, no hostnames, no object ids).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..arch import MacroArchitecture
+from ..spec import MacroSpec
+from ..tech.process import GENERIC_40NM
+from .cache import CACHE_SCHEMA_VERSION
+
+
+@dataclass(frozen=True)
+class CompileJob:
+    """One full search(+implementation) run of a single spec."""
+
+    spec: MacroSpec
+    implement: bool = True
+    input_sparsity: float = 0.0
+    weight_sparsity: float = 0.0
+    seed: Optional[int] = None
+    process_name: str = GENERIC_40NM.name
+
+    def payload(self) -> Dict[str, object]:
+        return {
+            "type": "compile",
+            "spec": self.spec.to_dict(),
+            "process": self.process_name,
+            "options": {
+                "implement": self.implement,
+                "input_sparsity": self.input_sparsity,
+                "weight_sparsity": self.weight_sparsity,
+                "seed": self.seed,
+            },
+        }
+
+    def key(self) -> str:
+        return _hash_payload(self.payload())
+
+
+@dataclass(frozen=True)
+class ImplementJob:
+    """Implementation flow only, for an explicit architecture choice."""
+
+    spec: MacroSpec
+    arch: MacroArchitecture
+    input_sparsity: float = 0.0
+    weight_sparsity: float = 0.0
+    process_name: str = GENERIC_40NM.name
+
+    def payload(self) -> Dict[str, object]:
+        return {
+            "type": "implement",
+            "spec": self.spec.to_dict(),
+            "arch": self.arch.to_dict(),
+            "process": self.process_name,
+            "options": {
+                "input_sparsity": self.input_sparsity,
+                "weight_sparsity": self.weight_sparsity,
+            },
+        }
+
+    def key(self) -> str:
+        return _hash_payload(self.payload())
+
+
+def _hash_payload(payload: Dict[str, object]) -> str:
+    """sha256 over the canonical JSON of (payload, schema, compiler
+    version); the payload already carries the process name.
+
+    The version term is what ties "same key" to "same result": when a
+    later release changes the estimation or search models, its results
+    land under fresh keys instead of being served stale from a cache
+    populated by an older compiler.
+    """
+    from .. import __version__
+
+    keyed = {
+        "schema": CACHE_SCHEMA_VERSION,
+        "compiler": __version__,
+        "payload": payload,
+    }
+    blob = json.dumps(keyed, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()

@@ -1,0 +1,223 @@
+"""Aggregate sweep results into Pareto and scaling reports.
+
+Consumes the JSONL records a ``repro sweep``/``repro batch`` run writes
+(or a list of record dicts in memory) and renders the same styles of
+table the paper benchmarks produce: a per-point results table, the
+cross-spec Pareto frontier over (power, area) with an ASCII scatter
+(``benchmarks/results/fig8_pareto_frontier.txt``), and an array-size
+scaling table (``fig4_scaling.txt``).
+
+Also runnable directly::
+
+    python -m repro.batch.summarize sweep_results.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from ..compiler.report import format_pareto_ascii, format_table
+from ..search.pareto import pareto_front
+
+Record = Dict[str, object]
+
+
+def load_records(path: "pathlib.Path | str") -> List[Record]:
+    """Read records from a JSONL file (or a JSON array file)."""
+    text = pathlib.Path(path).read_text()
+    stripped = text.lstrip()
+    if stripped.startswith("["):
+        data = json.loads(text)
+        if not isinstance(data, list):
+            raise ValueError(f"{path}: expected a JSON array")
+        return data
+    records = []
+    for i, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}:{i}: bad JSONL line: {exc}") from None
+    return records
+
+
+def _spec_name(record: Record) -> str:
+    summary = record.get("spec_summary")
+    if summary:
+        # Every compiler-produced record carries the canonical
+        # MacroSpec.describe() string; rebuilding it here would drift.
+        return str(summary)
+    spec = record.get("spec") or {}
+    if isinstance(spec, dict) and spec:
+        fmts = "/".join(
+            f["name"] for f in spec.get("input_formats", [])  # type: ignore[index]
+        )
+        freq = spec.get("mac_frequency_mhz")
+        freq_txt = f"{freq:.0f}" if isinstance(freq, (int, float)) else "?"
+        return (
+            f"{spec.get('height')}x{spec.get('width')} "
+            f"MCR={spec.get('mcr')} [{fmts}] "
+            f"@{freq_txt}MHz {spec.get('vdd')}V"
+        )
+    return str(record.get("spec_summary", "?"))
+
+
+def results_table(records: Sequence[Record]) -> str:
+    """One row per sweep point: status, selected design, key numbers."""
+    rows = []
+    for record in records:
+        selected = record.get("selected") or {}
+        impl = record.get("implementation") or {}
+        rows.append(
+            [
+                _spec_name(record),
+                str(record.get("status")),
+                selected.get("arch_summary", "-") if selected else "-",
+                round(selected["power_mw"], 1) if selected else "-",
+                round(selected["area_um2"] / 1e6, 4) if selected else "-",
+                round(impl["max_frequency_mhz"], 0) if impl else "-",
+                (
+                    ("yes" if impl.get("signoff_clean") else "NO")
+                    if impl
+                    else "-"
+                ),
+            ]
+        )
+    return format_table(
+        [
+            "spec",
+            "status",
+            "selected",
+            "power_mw",
+            "area_mm2",
+            "fmax_MHz",
+            "signoff",
+        ],
+        rows,
+    )
+
+
+def pareto_table(records: Sequence[Record]) -> str:
+    """Cross-spec Pareto frontier over (power, area) of selections."""
+    points = [
+        r
+        for r in records
+        if r.get("status") == "ok" and r.get("selected")
+    ]
+    if not points:
+        return "(no feasible points)"
+    front = pareto_front(
+        points,
+        lambda r: (r["selected"]["power_mw"], r["selected"]["area_um2"]),  # type: ignore[index]
+    )
+    front_ids = {id(r) for r in front}
+    rows = [
+        [
+            _spec_name(r),
+            r["selected"]["arch_summary"],  # type: ignore[index]
+            round(r["selected"]["power_mw"], 1),  # type: ignore[index]
+            round(r["selected"]["area_um2"] / 1e6, 4),  # type: ignore[index]
+            round(r["selected"].get("tops_per_watt", 0.0), 2),  # type: ignore[union-attr]
+            "*" if id(r) in front_ids else "",
+        ]
+        for r in sorted(
+            points, key=lambda r: r["selected"]["power_mw"]  # type: ignore[index]
+        )
+    ]
+    table = format_table(
+        ["spec", "selected", "power_mw", "area_mm2", "TOPS/W", "front"],
+        rows,
+    )
+    plot_points = [
+        (
+            r["selected"]["area_um2"] / 1e6,  # type: ignore[index]
+            r["selected"]["power_mw"],  # type: ignore[index]
+            1 if id(r) in front_ids else 0,
+        )
+        for r in points
+    ]
+    plot = format_pareto_ascii(plot_points, "area [mm^2]", "power [mW]")
+    return (
+        table
+        + "\n\nsweep points (o) and cross-spec frontier (*):\n"
+        + plot
+    )
+
+
+def scaling_table(records: Sequence[Record]) -> Optional[str]:
+    """Array-size scaling of the selected designs (fig4 style); ``None``
+    when the sweep holds a single array size."""
+    groups: Dict[tuple, List[Record]] = {}
+    for record in records:
+        if record.get("status") != "ok" or not record.get("selected"):
+            continue
+        spec = record["spec"]  # type: ignore[index]
+        groups.setdefault((spec["height"], spec["width"]), []).append(record)  # type: ignore[index]
+    if len(groups) < 2:
+        return None
+    rows = []
+    for (height, width), members in sorted(groups.items()):
+        best = min(members, key=lambda r: r["selected"]["power_mw"])  # type: ignore[index]
+        sel = best["selected"]  # type: ignore[index]
+        rows.append(
+            [
+                f"{height}x{width}",
+                len(members),
+                round(sel["power_mw"], 1),
+                round(sel["area_um2"] / 1e6, 4),
+                round(sel["critical_path_ns"], 3),
+                round(sel.get("tops_per_watt", 0.0), 2),
+            ]
+        )
+    return format_table(
+        ["macro", "points", "best_mW", "area_mm2", "crit_ns", "TOPS/W"],
+        rows,
+    )
+
+
+def summarize(records: Sequence[Record]) -> str:
+    """Full text report over a sweep's records."""
+    statuses = [r.get("status") for r in records]
+    lines = [
+        f"{len(records)} sweep points: {statuses.count('ok')} ok, "
+        f"{statuses.count('infeasible')} infeasible, "
+        f"{statuses.count('error')} failed",
+        "",
+        results_table(records),
+        "",
+        "Pareto frontier across the sweep:",
+        pareto_table(records),
+    ]
+    scaling = scaling_table(records)
+    if scaling is not None:
+        lines += ["", "array-size scaling:", scaling]
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.batch.summarize",
+        description="Aggregate a sweep's JSONL results into tables.",
+    )
+    parser.add_argument("results", help="JSONL (or JSON array) results file")
+    args = parser.parse_args(argv)
+    try:
+        records = load_records(args.results)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if not records:
+        print("error: no records found", file=sys.stderr)
+        return 1
+    print(summarize(records))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,215 @@
+"""Sweep grammar: compact range expressions over spec axes.
+
+The ``repro sweep`` CLI describes design grids with one token per axis
+value, where a token is either a literal value or a range::
+
+    32              a single value
+    32:256:x2       geometric: 32, 64, 128, 256  (multiply by 2)
+    400:1000:+200   arithmetic: 400, 600, 800, 1000  (add 200)
+
+Stops are inclusive when landed on exactly; a geometric step must be an
+integer/float > 1, an arithmetic step nonzero (negative steps count
+down).  Format axes use comma-joined groups, one group per token:
+``INT4,INT8 INT8`` sweeps two format sets.
+
+:func:`expand_grid` takes the per-axis value lists and produces the
+cartesian product as :class:`~repro.spec.MacroSpec` objects in a
+deterministic row-major order (height, width, mcr, formats, frequency,
+vdd) — the order results appear in JSONL outputs and summaries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import SpecificationError
+from ..spec import DataFormat, MacroSpec, PPAWeights, parse_format
+
+#: Cap on a single expanded axis, to catch runaway ranges like 1:1e9:+1.
+MAX_AXIS_POINTS = 4096
+
+
+def parse_range(token: str, integer: bool = True) -> List[float]:
+    """Expand one axis token into its list of values (see module doc)."""
+    token = token.strip()
+    if not token:
+        raise SpecificationError("empty sweep token")
+    parts = token.split(":")
+    if len(parts) == 1:
+        return [_number(parts[0], integer)]
+    if len(parts) != 3:
+        raise SpecificationError(
+            f"bad sweep range {token!r}; expected VALUE, "
+            "START:STOP:xFACTOR or START:STOP:+STEP"
+        )
+    start = _number(parts[0], integer)
+    stop = _number(parts[1], integer)
+    step_token = parts[2].strip()
+    if not step_token or step_token[0] not in "x+":
+        raise SpecificationError(
+            f"bad sweep step {parts[2]!r} in {token!r}; "
+            "use x<factor> (geometric) or +<step> (arithmetic)"
+        )
+    values: List[float] = []
+    if step_token[0] == "x":
+        factor = _number(step_token[1:], integer=False)
+        if factor <= 1:
+            raise SpecificationError(
+                f"geometric step must be > 1, got {factor} in {token!r}"
+            )
+        if start <= 0:
+            raise SpecificationError(
+                f"geometric range needs a positive start, got {start}"
+            )
+        if stop < start:
+            raise SpecificationError(
+                f"descending geometric range {token!r}; start <= stop required"
+            )
+        # Values come from start * factor**i (not repeated in-place
+        # multiplication) so float error never accumulates — the
+        # rendered values feed canonical_json() and the cache key.
+        i = 0
+        while True:
+            value = start * factor**i
+            if value > stop * (1 + 1e-9):
+                break
+            values.append(_round(value, integer))
+            i += 1
+            _check_axis_size(values, token)
+    else:
+        step = _number(step_token[1:], integer)
+        if step == 0:
+            raise SpecificationError(f"arithmetic step is zero in {token!r}")
+        if (stop - start) * step < 0:
+            raise SpecificationError(
+                f"range {token!r} never reaches its stop with step {step:+g}"
+            )
+        direction = 1 if step > 0 else -1
+        i = 0
+        while True:
+            value = start + i * step
+            if (value - stop) * direction > abs(step) * 1e-9:
+                break
+            values.append(_round(value, integer))
+            i += 1
+            _check_axis_size(values, token)
+    return values
+
+
+def parse_axis(tokens: Sequence[str], integer: bool = True) -> List[float]:
+    """Expand a whole axis (several tokens), deduplicated, order kept."""
+    values: List[float] = []
+    for token in tokens:
+        for value in parse_range(token, integer):
+            if value not in values:
+                values.append(value)
+    return values
+
+
+def parse_format_sets(tokens: Sequence[str]) -> List[Tuple[DataFormat, ...]]:
+    """Each token is a comma-joined format group: ``INT4,INT8,FP8``."""
+    sets: List[Tuple[DataFormat, ...]] = []
+    for token in tokens:
+        names = [n for n in token.split(",") if n]
+        if not names:
+            raise SpecificationError(f"empty format group {token!r}")
+        group = tuple(parse_format(name) for name in names)
+        if group not in sets:
+            sets.append(group)
+    return sets
+
+
+def expand_grid(
+    heights: Sequence[int],
+    widths: Sequence[int],
+    mcrs: Sequence[int],
+    format_sets: Sequence[Tuple[DataFormat, ...]],
+    frequencies: Sequence[float],
+    vdds: Sequence[float],
+    ppa: Optional[PPAWeights] = None,
+) -> List[MacroSpec]:
+    """Cartesian product of the axes, row-major, as validated specs."""
+    for name, axis in (
+        ("height", heights),
+        ("width", widths),
+        ("mcr", mcrs),
+        ("formats", format_sets),
+        ("frequency", frequencies),
+        ("vdd", vdds),
+    ):
+        if not axis:
+            raise SpecificationError(f"sweep axis {name!r} is empty")
+    specs: List[MacroSpec] = []
+    for height in heights:
+        for width in widths:
+            for mcr in mcrs:
+                for formats in format_sets:
+                    for freq in frequencies:
+                        for vdd in vdds:
+                            # update_frequency_mhz stays at the spec
+                            # default so a sweep point hashes the same
+                            # as the identical spec entered via the
+                            # compile CLI or a `batch --specs` file.
+                            specs.append(
+                                MacroSpec(
+                                    height=int(height),
+                                    width=int(width),
+                                    mcr=int(mcr),
+                                    input_formats=formats,
+                                    weight_formats=formats,
+                                    mac_frequency_mhz=float(freq),
+                                    vdd=float(vdd),
+                                    ppa=ppa or PPAWeights(),
+                                )
+                            )
+    return specs
+
+
+def grid_summary(specs: Sequence[MacroSpec]) -> str:
+    """One line naming the swept axes and the grid size."""
+    axes: Dict[str, List[object]] = {}
+    for spec in specs:
+        for name, value in (
+            ("height", spec.height),
+            ("width", spec.width),
+            ("mcr", spec.mcr),
+            ("formats", "/".join(f.name for f in spec.input_formats)),
+            ("MHz", spec.mac_frequency_mhz),
+            ("vdd", spec.vdd),
+        ):
+            axes.setdefault(name, [])
+            if value not in axes[name]:
+                axes[name].append(value)
+    varied = [
+        f"{name}[{', '.join(str(v) for v in values)}]"
+        for name, values in axes.items()
+        if len(values) > 1
+    ]
+    return (
+        f"{len(specs)}-point grid"
+        + (": " + " x ".join(varied) if varied else "")
+    )
+
+
+def _number(text: str, integer: bool) -> float:
+    text = text.strip()
+    try:
+        return int(text) if integer else float(text)
+    except ValueError:
+        kind = "integer" if integer else "number"
+        raise SpecificationError(
+            f"bad {kind} {text!r} in sweep expression"
+        ) from None
+
+
+def _round(value: float, integer: bool) -> float:
+    # 9 decimals snaps 0.6 + 2*0.1 = 0.7999999999999999 back to 0.8 so
+    # sweep-produced values hash identically to hand-typed literals.
+    return int(round(value)) if integer else round(value, 9)
+
+
+def _check_axis_size(values: List[float], token: str) -> None:
+    if len(values) > MAX_AXIS_POINTS:
+        raise SpecificationError(
+            f"sweep range {token!r} expands past {MAX_AXIS_POINTS} points"
+        )

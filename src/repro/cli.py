@@ -7,17 +7,22 @@ Commands
 ``compile``  full performance-to-layout compilation with optional
              Verilog/GDS export;
 ``shmoo``    compile and sweep the voltage/frequency grid (Fig. 9
-             style).
+             style);
+``sweep``    expand a range grammar over the spec axes into a design
+             grid and batch-compile it (parallel, cached, JSONL out);
+``batch``    batch-compile explicit specs from a JSON/JSONL file.
 
-Example::
+Examples::
 
     python -m repro compile --height 64 --width 64 --mcr 2 \\
         --formats INT4 INT8 FP8 --frequency 800 --verilog macro.v
+    python -m repro sweep --height 32:128:x2 --frequency 400 800 -j 4
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional, Sequence
 
@@ -40,20 +45,21 @@ def _add_spec_args(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument("--vdd", type=float, default=0.9)
     parser.add_argument(
-        "--ppa",
-        choices=["balanced", "energy", "area", "performance"],
-        default="balanced",
+        "--ppa", choices=sorted(_PPA_CHOICES), default="balanced"
     )
+
+
+_PPA_CHOICES = {
+    "balanced": PPAWeights(),
+    "energy": PPAWeights(power=3.0, performance=1.0, area=1.0),
+    "area": PPAWeights(power=1.0, performance=1.0, area=3.0),
+    "performance": PPAWeights(power=1.0, performance=3.0, area=1.0),
+}
 
 
 def _spec_from_args(args: argparse.Namespace) -> MacroSpec:
     formats = tuple(parse_format(f) for f in args.formats)
-    ppa = {
-        "balanced": PPAWeights(),
-        "energy": PPAWeights(power=3.0, performance=1.0, area=1.0),
-        "area": PPAWeights(power=1.0, performance=1.0, area=3.0),
-        "performance": PPAWeights(power=1.0, performance=3.0, area=1.0),
-    }[args.ppa]
+    ppa = _PPA_CHOICES[args.ppa]
     return MacroSpec(
         height=args.height,
         width=args.width,
@@ -91,7 +97,86 @@ def build_parser() -> argparse.ArgumentParser:
     p_shmoo.add_argument("--vmin", type=float, default=0.6)
     p_shmoo.add_argument("--vmax", type=float, default=1.2)
     p_shmoo.add_argument("--fmax", type=float, default=1400.0)
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="batch-compile a design grid from range expressions",
+        description=(
+            "Expand range expressions over the spec axes "
+            "(e.g. --height 32:256:x2, --frequency 400:1000:+200) into "
+            "a grid and compile every point through the batch engine: "
+            "deduplicated, cached on disk, scheduled over a process "
+            "pool, results streamed to JSONL."
+        ),
+    )
+    p_sweep.add_argument(
+        "--height", nargs="+", default=["64"],
+        help="values or ranges, e.g. 32:256:x2",
+    )
+    p_sweep.add_argument("--width", nargs="+", default=["64"])
+    p_sweep.add_argument("--mcr", nargs="+", default=["2"])
+    p_sweep.add_argument(
+        "--formats", nargs="+", default=["INT4,INT8"],
+        help="comma-joined format groups, e.g. INT4,INT8 INT8,FP8",
+    )
+    p_sweep.add_argument(
+        "--frequency", nargs="+", default=["800"],
+        help="MAC MHz values or ranges, e.g. 400:1000:+200",
+    )
+    p_sweep.add_argument("--vdd", nargs="+", default=["0.9"])
+    p_sweep.add_argument(
+        "--ppa", choices=sorted(_PPA_CHOICES), default="balanced"
+    )
+    _add_batch_exec_args(p_sweep, default_output="sweep_results.jsonl")
+
+    p_batch = sub.add_parser(
+        "batch",
+        help="batch-compile explicit specs from a JSON/JSONL file",
+        description=(
+            "Read MacroSpec dicts (a JSON array or one JSON object per "
+            "line) and compile them through the batch engine."
+        ),
+    )
+    p_batch.add_argument(
+        "--specs", required=True, help="JSON/JSONL file of spec dicts"
+    )
+    _add_batch_exec_args(p_batch, default_output="batch_results.jsonl")
     return parser
+
+
+def _add_batch_exec_args(
+    parser: argparse.ArgumentParser, default_output: str
+) -> None:
+    parser.add_argument(
+        "-j", "--jobs", type=int, default=None,
+        help="worker processes (default: CPU count)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        help="result-cache directory (default $REPRO_CACHE_DIR "
+        "or ~/.cache/repro)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="skip cache lookup and store",
+    )
+    parser.add_argument(
+        "--no-implement", action="store_true",
+        help="search + selection only (no layouts; much faster)",
+    )
+    parser.add_argument(
+        "--output", default=default_output,
+        help=f"JSONL results path, streamed as jobs complete; "
+        f"'-' writes records to stdout (default {default_output})",
+    )
+    parser.add_argument(
+        "--no-summary", action="store_true",
+        help="skip the aggregate Pareto/scaling report",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None,
+        help="search-order seed (recorded in the cache key)",
+    )
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -105,6 +190,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
 def _dispatch(args: argparse.Namespace) -> int:
     from .compiler.syndcim import SynDCIM
+
+    if args.command == "sweep":
+        return _run_sweep(args)
+    if args.command == "batch":
+        return _run_batch_file(args)
 
     spec = _spec_from_args(args)
     compiler = SynDCIM()
@@ -155,6 +245,171 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
 
     raise AssertionError(f"unhandled command {args.command}")
+
+
+def _run_sweep(args: argparse.Namespace) -> int:
+    from .batch.sweep import (
+        expand_grid,
+        grid_summary,
+        parse_axis,
+        parse_format_sets,
+    )
+
+    specs = expand_grid(
+        heights=parse_axis(args.height),
+        widths=parse_axis(args.width),
+        mcrs=parse_axis(args.mcr),
+        format_sets=parse_format_sets(args.formats),
+        frequencies=parse_axis(args.frequency, integer=False),
+        vdds=parse_axis(args.vdd, integer=False),
+        ppa=_PPA_CHOICES[args.ppa],
+    )
+    human = sys.stderr if args.output == "-" else sys.stdout
+    print(f"sweep: {grid_summary(specs)}", file=human)
+    return _execute_batch(specs, args)
+
+
+def _run_batch_file(args: argparse.Namespace) -> int:
+    from .batch.summarize import load_records
+
+    try:
+        entries = load_records(args.specs)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    specs = []
+    for i, entry in enumerate(entries, start=1):
+        try:
+            specs.append(MacroSpec.from_dict(entry))
+        except SynDCIMError as exc:
+            print(f"error: {args.specs} entry {i}: {exc}", file=sys.stderr)
+            return 1
+        except (AttributeError, KeyError, TypeError, ValueError) as exc:
+            print(
+                f"error: {args.specs} entry {i}: malformed spec "
+                f"({type(exc).__name__}: {exc})",
+                file=sys.stderr,
+            )
+            return 1
+    human = sys.stderr if args.output == "-" else sys.stdout
+    print(f"batch: {len(specs)} specs from {args.specs}", file=human)
+    return _execute_batch(specs, args)
+
+
+def _execute_batch(specs: List[MacroSpec], args: argparse.Namespace) -> int:
+    from .batch.engine import BatchCompiler
+
+    # `--output -` sends the JSONL records to stdout (pipeline-friendly:
+    # progress/summary move to stderr); a path streams them to the file
+    # as jobs complete, so a killed run keeps its finished points.
+    to_stdout = args.output == "-"
+    human = sys.stderr if to_stdout else sys.stdout
+    muted = False
+
+    def say(*parts: object) -> None:
+        # Human chatter must never kill a run whose data sink is a
+        # file: if the terminal/pipe reading it goes away, go quiet
+        # and keep compiling.
+        nonlocal muted
+        if muted:
+            return
+        try:
+            print(*parts, file=human)
+        except BrokenPipeError:
+            muted = True
+
+    # Open the sink before any compilation so a bad --output path fails
+    # in milliseconds, not after an hours-long grid.
+    sink = None
+    if to_stdout:
+        sink = sys.stdout
+    elif args.output:
+        try:
+            sink = open(args.output, "w", encoding="utf-8")
+        except OSError as exc:
+            print(f"error: cannot write --output: {exc}", file=sys.stderr)
+            return 1
+
+    write_failed = False
+    streamed: set = set()
+
+    def emit(record: dict) -> None:
+        nonlocal write_failed
+        if sink is None or write_failed:
+            return
+        try:
+            sink.write(json.dumps(record) + "\n")
+            sink.flush()
+        except BrokenPipeError:
+            # The stdout consumer went away (e.g. `... | head`):
+            # nothing downstream wants more records, so stop compiling.
+            raise _OutputClosed from None
+        except OSError as exc:
+            # Disk filled up mid-run: keep compiling — the summary is
+            # now the only place the remaining results surface.
+            write_failed = True
+            print(f"error: writing {args.output}: {exc}", file=sys.stderr)
+
+    def progress(done: int, total: int, record: dict) -> None:
+        status = record.get("status")
+        how = "cached" if record.get("cached") else (
+            f"compiled {record.get('elapsed_s', 0.0):.1f}s"
+        )
+        say(f"[{done}/{total}] {record.get('spec_summary')} — "
+            f"{status} ({how})")
+        emit(record)
+        streamed.add(record.get("job_key"))
+
+    engine = BatchCompiler(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        seed=args.seed,
+        progress=progress,
+    )
+    try:
+        result = engine.compile_specs(
+            specs, implement=not args.no_implement
+        )
+        # Duplicate input specs fold onto one executed job, which was
+        # streamed once; append their copies so the JSONL holds one
+        # line per requested point.
+        already_streamed: set = set()
+        for record in result.records:
+            key = record.get("job_key")
+            if key in streamed and key not in already_streamed:
+                already_streamed.add(key)
+                continue
+            emit(record)
+        if sink is not None and not to_stdout and not write_failed:
+            say(f"wrote {len(result.records)} records to {args.output}")
+    except _OutputClosed:
+        print(
+            "output pipe closed by the consumer; aborting",
+            file=sys.stderr,
+        )
+        return 1
+    finally:
+        if sink is not None and not to_stdout:
+            sink.close()
+    say(result.describe())
+
+    if not args.no_summary:
+        from .batch.summarize import summarize
+
+        say()
+        say(summarize(result.records))
+    # A truncated JSONL output is a failed run even when every point
+    # compiled: downstream scripts must not mistake it for complete.
+    if write_failed:
+        return 1
+    return 1 if any(
+        r.get("status") == "error" for r in result.records
+    ) else 0
+
+
+class _OutputClosed(Exception):
+    """Internal: the --output stdout pipe was closed by its consumer."""
 
 
 if __name__ == "__main__":  # pragma: no cover

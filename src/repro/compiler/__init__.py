@@ -1,4 +1,8 @@
-"""Compiler driver and implementation flow."""
+"""Compiler driver and implementation flow.
+
+See ``docs/architecture.md`` for how this package fits the
+spec-to-layout pipeline.
+"""
 
 from .flow import Implementation, implement
 from .report import format_pareto_ascii, format_table

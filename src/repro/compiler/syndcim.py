@@ -17,12 +17,13 @@ the frontier is wanted — e.g. for design-space-exploration sweeps.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from ..arch import MacroArchitecture
 from ..errors import SearchError
-from ..scl.library import SubcircuitLibrary, default_scl
+from ..scl.library import SubcircuitLibrary, cached_default_scl, default_scl
 from ..search.algorithm import MSOSearcher, SearchResult
 from ..search.estimate import MacroEstimate
 from ..spec import MacroSpec, PPAWeights
@@ -74,10 +75,12 @@ class SynDCIM:
         scl: Optional[SubcircuitLibrary] = None,
         library: Optional[StdCellLibrary] = None,
         process: Optional[Process] = None,
+        seed: Optional[int] = None,
     ) -> None:
         self._scl = scl
         self.library = library or default_library()
         self.process = process or GENERIC_40NM
+        self.seed = seed
 
     @property
     def scl(self) -> SubcircuitLibrary:
@@ -87,7 +90,7 @@ class SynDCIM:
 
     def search(self, spec: MacroSpec) -> SearchResult:
         """Run only the multi-spec-oriented search."""
-        return MSOSearcher(self.scl).search(spec)
+        return MSOSearcher(self.scl, seed=self.seed).search(spec)
 
     def compile(
         self,
@@ -176,3 +179,237 @@ class SynDCIM:
             )
             attempts += 1
         return impl
+
+    def compile_cached(
+        self,
+        spec: MacroSpec,
+        cache: Optional["ResultCache"] = None,
+        implement_design: bool = True,
+        input_sparsity: float = 0.0,
+        weight_sparsity: float = 0.0,
+    ) -> Dict[str, object]:
+        """Compile to a JSON-serializable *record*, consulting a cache.
+
+        This is the single-spec counterpart of the batch engine: the
+        spec is hashed, the on-disk :class:`~repro.batch.cache.ResultCache`
+        is consulted, and only on a miss does a real compilation run
+        (whose record is then stored).  Returns the record either way.
+
+        Unlike :func:`execute_job` (which always builds a default
+        compiler in its worker process), this runs on *this* instance —
+        its SCL, cell library and process — and keys the cache with
+        this instance's process name.
+        """
+        from ..batch.cache import ResultCache
+        from ..batch.jobs import CompileJob
+
+        job = CompileJob(
+            spec=spec,
+            implement=implement_design,
+            input_sparsity=input_sparsity,
+            weight_sparsity=weight_sparsity,
+            seed=self.seed,
+            process_name=self.process.name,
+        )
+        cache = cache or ResultCache()
+        # The job key covers the spec, options and process name — not a
+        # custom cell library, a pre-built SCL, or a Process whose
+        # *parameters* differ from the registered node of that name.
+        # Any such toolchain bypasses the cache entirely: always
+        # recompile rather than ever return (or store) another
+        # toolchain's numbers under this key.  The SCL probe must not
+        # *build* the default SCL just to compare identities.
+        from ..tech.process import PROCESSES
+
+        use_cache = (
+            self.library is default_library()
+            and PROCESSES.get(self.process.name) == self.process
+            and (
+                self._scl is None
+                or self._scl is cached_default_scl(self.process)
+            )
+        )
+        if use_cache:
+            cached = cache.get(job.key())
+            if cached is not None:
+                return cached
+        record = _run_to_record(
+            spec,
+            lambda: result_to_record(
+                self.compile(
+                    spec,
+                    implement_design=implement_design,
+                    input_sparsity=input_sparsity,
+                    weight_sparsity=weight_sparsity,
+                )
+            ),
+        )
+        if use_cache and record.get("status") in CACHEABLE_STATUSES:
+            cache.put(job.key(), record)
+        return record
+
+
+# ---------------------------------------------------------------------------
+# Serializable result records and the pure batch-job entry point.
+#
+# The batch engine runs compilations in worker processes and persists
+# their outputs as JSON, so everything below speaks plain dicts: a
+# *record* is the JSON-friendly projection of a CompileResult that the
+# sweeps, the cache and the summarize report all share.
+# ---------------------------------------------------------------------------
+
+
+def estimate_record(est: MacroEstimate) -> Dict[str, object]:
+    """JSON-friendly projection of one searched design point."""
+    return {
+        "arch": est.arch.to_dict(),
+        "arch_summary": est.arch.knob_summary(),
+        "power_mw": est.power_mw,
+        "area_um2": est.area_um2,
+        "critical_path_ns": est.critical_path_ns,
+        "met": est.met,
+        "tops": est.tops,
+        "tops_per_watt": est.tops_per_watt,
+        "energy_per_cycle_pj": est.energy_per_cycle_pj,
+    }
+
+
+def implementation_record(impl: Implementation) -> Dict[str, object]:
+    """JSON-friendly projection of one implementation (flow output)."""
+    record: Dict[str, object] = dict(impl.summary())
+    record.update(
+        {
+            "arch": impl.arch.to_dict(),
+            "arch_summary": impl.arch.knob_summary(),
+            "drc_clean": impl.drc.clean,
+            "lvs_clean": impl.lvs.clean,
+            "timing_met": impl.timing.met,
+            "signoff_clean": impl.signoff_clean,
+        }
+    )
+    return record
+
+
+def result_to_record(result: CompileResult) -> Dict[str, object]:
+    """Project a full :class:`CompileResult` onto the record schema."""
+    return dict(
+        _base_record(result.spec),
+        search={
+            "n_candidates": len(result.search.candidates),
+            "frontier": [estimate_record(e) for e in result.frontier],
+            "fix_counts": dict(result.search.fix_counts),
+        },
+        selected=estimate_record(result.selected),
+        implementation=(
+            implementation_record(result.implementation)
+            if result.implementation is not None
+            else None
+        ),
+    )
+
+
+#: Statuses whose records are deterministic and therefore cacheable;
+#: "error" is excluded (a crash may be environmental).  Shared by the
+#: batch engine and compile_cached so the policy lives in one place.
+CACHEABLE_STATUSES = ("ok", "infeasible")
+
+
+def _base_record(spec: MacroSpec) -> Dict[str, object]:
+    """The record schema's single source of truth: every record is this
+    shell with fields overridden — never a hand-built dict, so the
+    schema cannot drift between producers."""
+    return {
+        "status": "ok",
+        "error": None,
+        "spec": spec.to_dict(),
+        "spec_summary": spec.describe(),
+        "spec_hash": spec.content_hash(),
+        "search": None,
+        "selected": None,
+        "implementation": None,
+    }
+
+
+def _failure_record(
+    spec: MacroSpec, status: str, error: str
+) -> Dict[str, object]:
+    """Record shell for a compilation that produced no result."""
+    return dict(_base_record(spec), status=status, error=error)
+
+
+def _run_to_record(spec: MacroSpec, runner) -> Dict[str, object]:
+    """Run ``runner`` and map its outcome onto the record schema:
+    SearchError → ``infeasible`` (deterministic, cacheable), anything
+    else → ``error``; every record gets an ``elapsed_s`` stamp."""
+    started = time.monotonic()
+    try:
+        record = runner()
+    except SearchError as exc:
+        record = _failure_record(spec, "infeasible", str(exc))
+    except Exception as exc:
+        record = _failure_record(
+            spec, "error", f"{type(exc).__name__}: {exc}"
+        )
+    record["elapsed_s"] = round(time.monotonic() - started, 3)
+    return record
+
+
+def execute_job(payload: Dict[str, object]) -> Dict[str, object]:
+    """Pure, picklable batch-job entry point.
+
+    Takes a plain-dict payload (built by :mod:`repro.batch.jobs`),
+    rebuilds the spec, runs the requested flow and returns a plain-dict
+    record — no live objects cross the process boundary in either
+    direction, so this function is safe to hand to a
+    ``ProcessPoolExecutor`` regardless of start method.
+
+    Payload types:
+
+    * ``"compile"`` — full search + selection (+ implementation);
+    * ``"implement"`` — implementation flow only, for an explicit
+      architecture (used by benchmarks that already searched).
+
+    Deterministic failures (infeasible specs) come back as
+    ``status="infeasible"`` records so sweeps keep going and the result
+    is cacheable; any other exception — compiler errors and plain bugs
+    alike — as ``status="error"``, so one bad grid corner can never
+    abort a sweep and discard its completed points.
+    """
+    spec = MacroSpec.from_dict(payload["spec"])  # type: ignore[arg-type]
+    options: Dict[str, object] = dict(payload.get("options", {}))  # type: ignore[arg-type]
+    job_type = payload.get("type", "compile")
+
+    def runner() -> Dict[str, object]:
+        from ..tech.process import process_by_name
+
+        # The payload names the process; resolving it (or failing for
+        # an unregistered name) keeps the computation consistent with
+        # the cache key, which also covers the process name.
+        process = process_by_name(
+            str(payload.get("process", GENERIC_40NM.name))
+        )
+        compiler = SynDCIM(seed=options.get("seed"), process=process)  # type: ignore[arg-type]
+        if job_type == "implement":
+            arch = MacroArchitecture.from_dict(payload["arch"])  # type: ignore[arg-type]
+            impl = implement(
+                spec,
+                arch,
+                library=compiler.library,
+                process=compiler.process,
+                input_sparsity=float(options.get("input_sparsity", 0.0)),  # type: ignore[arg-type]
+                weight_sparsity=float(options.get("weight_sparsity", 0.0)),  # type: ignore[arg-type]
+            )
+            return dict(
+                _base_record(spec), implementation=implementation_record(impl)
+            )
+        if job_type == "compile":
+            result = compiler.compile(
+                spec,
+                implement_design=bool(options.get("implement", True)),
+                input_sparsity=float(options.get("input_sparsity", 0.0)),  # type: ignore[arg-type]
+                weight_sparsity=float(options.get("weight_sparsity", 0.0)),  # type: ignore[arg-type]
+            )
+            return result_to_record(result)
+        raise ValueError(f"unknown job type {job_type!r}")
+
+    return _run_to_record(spec, runner)

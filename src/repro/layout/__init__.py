@@ -1,5 +1,9 @@
 """Layout/APR substrate: geometry, SDP placement, routing estimation,
-DRC, LVS, and GDS-style export."""
+DRC, LVS, and GDS-style export.
+
+See ``docs/architecture.md`` for how this package fits the
+spec-to-layout pipeline.
+"""
 
 from .geometry import Rect, bounding_box, half_perimeter, sweep_overlaps
 from .sdp import Placement, SDPParams, place_macro

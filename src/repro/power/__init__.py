@@ -1,4 +1,8 @@
-"""Activity-based power estimation."""
+"""Activity-based power estimation.
+
+See ``docs/architecture.md`` for how this package fits the
+spec-to-layout pipeline.
+"""
 
 from .activity import (
     CLOCK_DENSITY,

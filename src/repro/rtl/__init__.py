@@ -1,4 +1,8 @@
-"""RTL intermediate representation, Verilog emission and generators."""
+"""RTL intermediate representation, Verilog emission and generators.
+
+See ``docs/architecture.md`` for how this package fits the
+spec-to-layout pipeline.
+"""
 
 from .ir import (
     CONST0,

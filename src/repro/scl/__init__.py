@@ -1,5 +1,9 @@
 """Subcircuit library (SCL): PPA lookup tables over topology, dimension
-and timing-relevant variants."""
+and timing-relevant variants.
+
+See ``docs/architecture.md`` for how this package fits the
+spec-to-layout pipeline.
+"""
 
 from .lut import PPARecord, PPATable, interpolate_records
 from .library import KINDS, SubcircuitLibrary, default_scl

@@ -87,3 +87,14 @@ def default_scl(
             default_library(), process, verbose=verbose
         )
     return _CACHE[key]
+
+
+def cached_default_scl(
+    process: Optional[Process] = None,
+) -> Optional[SubcircuitLibrary]:
+    """The already-built default SCL for ``process``, or ``None``.
+
+    Identity probe that never triggers the multi-second
+    characterization — for callers that only need to know whether an
+    SCL *is* the shared default (e.g. cache-eligibility checks)."""
+    return _CACHE.get((process or GENERIC_40NM).name)

@@ -1,5 +1,9 @@
 """Multi-spec-oriented searching: estimation, fixes, Algorithm 1, Pareto
-utilities and search-space construction."""
+utilities and search-space construction.
+
+See ``docs/architecture.md`` for how this package fits the
+spec-to-layout pipeline.
+"""
 
 from .estimate import CLOCK_OVERHEAD_NS, MacroEstimate, Segment, estimate_macro
 from .fixes import MAC_FIXES, MERGE_MOVES, OFU_FIXES, TUNING_MOVES

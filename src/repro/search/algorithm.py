@@ -22,6 +22,7 @@ selection and implementation (paper Fig. 8).
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -80,8 +81,17 @@ class SearchResult:
         return "\n".join(lines)
 
 
-def seed_architectures(spec: MacroSpec) -> List[Tuple[str, MacroArchitecture]]:
-    """Bias-diverse starting points derived from the specification."""
+def seed_architectures(
+    spec: MacroSpec, seed: Optional[int] = None
+) -> List[Tuple[str, MacroArchitecture]]:
+    """Bias-diverse starting points derived from the specification.
+
+    The list is fully deterministic; ``seed`` only permutes the
+    exploration *order* (reproducibly, via ``random.Random(seed)``),
+    which exercises order-independence of the search without ever making
+    two runs with the same seed disagree — a requirement for the batch
+    engine's result cache.
+    """
     seeds: List[Tuple[str, MacroArchitecture]] = [
         (
             "energy",
@@ -139,6 +149,8 @@ def seed_architectures(spec: MacroSpec) -> List[Tuple[str, MacroArchitecture]]:
         except Exception:
             continue
         valid.append((name, arch))
+    if seed is not None:
+        random.Random(seed).shuffle(valid)
     return valid
 
 
@@ -157,12 +169,14 @@ class MSOSearcher:
         ofu_fixes=OFU_FIXES,
         merge_moves=MERGE_MOVES,
         tuning_moves=TUNING_MOVES,
+        seed: Optional[int] = None,
     ) -> None:
         self._scl = scl
         self.mac_fixes = tuple(mac_fixes)
         self.ofu_fixes = tuple(ofu_fixes)
         self.merge_moves = tuple(merge_moves)
         self.tuning_moves = tuple(tuning_moves)
+        self.seed = seed
 
     @property
     def scl(self) -> SubcircuitLibrary:
@@ -186,7 +200,7 @@ class MSOSearcher:
                     seen[key] = est
                     result.candidates.append(est)
 
-        for seed_name, seed_arch in seed_architectures(spec):
+        for seed_name, seed_arch in seed_architectures(spec, self.seed):
             est = self._estimate(spec, seed_arch)
             record(seed_name, "seed", est)
             est = self._repair_timing(spec, est, seed_name, record)
@@ -300,6 +314,10 @@ class MSOSearcher:
         return est
 
 
-def search(spec: MacroSpec, scl: Optional[SubcircuitLibrary] = None) -> SearchResult:
+def search(
+    spec: MacroSpec,
+    scl: Optional[SubcircuitLibrary] = None,
+    seed: Optional[int] = None,
+) -> SearchResult:
     """Convenience one-shot search."""
-    return MSOSearcher(scl).search(spec)
+    return MSOSearcher(scl, seed=seed).search(spec)

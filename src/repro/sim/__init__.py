@@ -1,5 +1,9 @@
 """Simulation: number formats, behavioural macro model, gate-level
-simulation, and the voltage/frequency shmoo engine."""
+simulation, and the voltage/frequency shmoo engine.
+
+See ``docs/architecture.md`` for how this package fits the
+spec-to-layout pipeline.
+"""
 
 from .formats import (
     FPFields,

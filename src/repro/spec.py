@@ -14,9 +14,11 @@ search never has to handle malformed inputs.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import json
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Mapping, Sequence, Tuple
 
 from .errors import SpecificationError
 
@@ -95,6 +97,26 @@ class DataFormat:
         """Width of the integer lane the format needs post-alignment."""
         return self.bits if not self.is_float else self.serial_bits
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable description (inverse of :meth:`from_dict`)."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "bits": self.bits,
+            "exponent": self.exponent,
+            "mantissa": self.mantissa,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "DataFormat":
+        return cls(
+            name=str(data["name"]),
+            kind=str(data["kind"]),
+            bits=int(data["bits"]),  # type: ignore[arg-type]
+            exponent=int(data.get("exponent", 0)),  # type: ignore[arg-type]
+            mantissa=int(data.get("mantissa", 0)),  # type: ignore[arg-type]
+        )
+
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.name
 
@@ -154,6 +176,21 @@ class PPAWeights:
             power=self.power / total,
             performance=self.performance / total,
             area=self.area / total,
+        )
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "power": self.power,
+            "performance": self.performance,
+            "area": self.area,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "PPAWeights":
+        return cls(
+            power=float(data.get("power", 1.0)),  # type: ignore[arg-type]
+            performance=float(data.get("performance", 1.0)),  # type: ignore[arg-type]
+            area=float(data.get("area", 1.0)),  # type: ignore[arg-type]
         )
 
     def score(self, power_mw: float, delay_ns: float, area_um2: float) -> float:
@@ -295,6 +332,64 @@ class MacroSpec:
     def replace(self, **changes: object) -> "MacroSpec":
         """Return a copy with the given fields changed."""
         return dataclasses.replace(self, **changes)
+
+    # -- serialization / identity ----------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable description (inverse of :meth:`from_dict`).
+
+        Used by the batch engine to ship specs across process boundaries
+        and by the result cache to key artifacts, so it must cover every
+        field that affects compilation.
+        """
+        return {
+            "height": self.height,
+            "width": self.width,
+            "mcr": self.mcr,
+            "input_formats": [f.to_dict() for f in self.input_formats],
+            "weight_formats": [f.to_dict() for f in self.weight_formats],
+            "mac_frequency_mhz": self.mac_frequency_mhz,
+            "update_frequency_mhz": self.update_frequency_mhz,
+            "vdd": self.vdd,
+            "ppa": self.ppa.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "MacroSpec":
+        return cls(
+            height=int(data["height"]),  # type: ignore[arg-type]
+            width=int(data["width"]),  # type: ignore[arg-type]
+            mcr=int(data.get("mcr", 2)),  # type: ignore[arg-type]
+            input_formats=tuple(
+                DataFormat.from_dict(d) for d in data["input_formats"]  # type: ignore[union-attr]
+            ),
+            weight_formats=tuple(
+                DataFormat.from_dict(d) for d in data["weight_formats"]  # type: ignore[union-attr]
+            ),
+            mac_frequency_mhz=float(data.get("mac_frequency_mhz", 800.0)),  # type: ignore[arg-type]
+            update_frequency_mhz=float(data.get("update_frequency_mhz", 800.0)),  # type: ignore[arg-type]
+            vdd=float(data.get("vdd", 0.9)),  # type: ignore[arg-type]
+            ppa=PPAWeights.from_dict(data.get("ppa", {})),  # type: ignore[arg-type]
+        )
+
+    def canonical_json(self) -> str:
+        """Deterministic JSON encoding: sorted keys, no whitespace.
+
+        Two equal specs always encode to the same string, in any
+        process, so the encoding (and the hash derived from it) can key
+        an on-disk cache shared between machines.
+        """
+        return json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+
+    def content_hash(self) -> str:
+        """Stable hex digest identifying this spec's content.
+
+        ``hashlib`` based, unlike ``hash()``, so the value survives
+        ``PYTHONHASHSEED`` randomization and process restarts.
+        """
+        return hashlib.sha256(self.canonical_json().encode()).hexdigest()
 
 
 def spec_from_strings(

@@ -1,4 +1,8 @@
-"""Static timing analysis over flat gate netlists."""
+"""Static timing analysis over flat gate netlists.
+
+See ``docs/architecture.md`` for how this package fits the
+spec-to-layout pipeline.
+"""
 
 from .analysis import (
     PathStep,

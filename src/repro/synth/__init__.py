@@ -1,5 +1,9 @@
 """Synthesis layer: elaboration is :meth:`repro.rtl.ir.Module.flatten`;
-this package adds the netlist optimization passes."""
+this package adds the netlist optimization passes.
+
+See ``docs/architecture.md`` for how this package fits the
+spec-to-layout pipeline.
+"""
 
 from .optimize import (
     FANOUT_LIMIT,

@@ -1,5 +1,9 @@
 """Technology substrate: process model, standard cells, characterization,
-Liberty/LEF views."""
+Liberty/LEF views.
+
+See ``docs/architecture.md`` for how this package fits the
+spec-to-layout pipeline.
+"""
 
 from .process import CORNERS, FF, GENERIC_40NM, SS, TT, Corner, Process
 from .stdcells import Cell, StdCellLibrary, TimingArc, default_library

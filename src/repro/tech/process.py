@@ -132,3 +132,18 @@ class Process:
 
 
 GENERIC_40NM = Process()
+
+#: Processes resolvable by name (batch workers receive a name, not an
+#: object, so only registered processes can run through the pool).
+PROCESSES = {GENERIC_40NM.name: GENERIC_40NM}
+
+
+def process_by_name(name: str) -> Process:
+    """Resolve a registered process; raises for unknown names rather
+    than silently substituting a default node."""
+    try:
+        return PROCESSES[name]
+    except KeyError:
+        raise SpecificationError(
+            f"unknown process {name!r}; registered: {sorted(PROCESSES)}"
+        ) from None
