@@ -5,13 +5,19 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench lint install
+.PHONY: test bench perf perf-smoke lint install
 
 test:  ## tier-1 suite: unit tests + benchmark reproductions
 	$(PYTHON) -m pytest -x -q
 
 bench:  ## benchmark suite only, with timing columns
 	$(PYTHON) -m pytest benchmarks -q --benchmark-columns=mean,stddev,ops
+
+perf:  ## hot-path perf suite; appends to benchmarks/results/BENCH_perf.json
+	$(PYTHON) benchmarks/perf/run_perf.py
+
+perf-smoke:  ## CI guard: warm SCL load + single search under ceilings
+	$(PYTHON) -m pytest benchmarks/perf -q
 
 lint:  ## ruff, if installed (CI always runs it)
 	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \

@@ -1,0 +1,236 @@
+#!/usr/bin/env python
+"""Performance benchmark harness (``make perf``).
+
+Times the hot paths this repo's throughput hangs on and appends the
+numbers to ``benchmarks/results/BENCH_perf.json`` so the perf
+trajectory is tracked PR over PR:
+
+``scl_cold_build_s``
+    ``default_scl()`` in a fresh process against an empty cache
+    directory — full characterization plus the artifact store.
+``scl_warm_load_s``
+    ``default_scl()`` in a second fresh process against the artifact
+    the cold run just wrote (the per-process cost every CLI call,
+    pytest session and batch worker actually pays).
+``search_s``
+    one ``MSOSearcher.search()`` on the paper's 64x64 spec (median of
+    repeats, warm SCL).
+``sweep_s`` / ``sweep_points`` / ``worker_scl_load_max_s``
+    an end-to-end 64-point search sweep through the batch engine's
+    process pool with the result cache off — plus the slowest
+    per-worker SCL resolution time, which proves workers warm from the
+    persistent cache instead of re-characterizing.
+
+Run directly (``python benchmarks/perf/run_perf.py``) or via
+``make perf``.  ``--output`` overrides the JSON path; ``--quick`` skips
+the sweep.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import platform
+import statistics
+import subprocess
+import sys
+import tempfile
+import time
+
+HERE = pathlib.Path(__file__).resolve().parent
+REPO_ROOT = HERE.parents[1]
+DEFAULT_OUTPUT = HERE.parent / "results" / "BENCH_perf.json"
+
+_TIMED_SCL = """
+import time
+import repro.scl.builder  # warm the imports; we time the call, not python startup
+from repro.scl.library import default_scl, default_scl_source
+t0 = time.perf_counter()
+scl = default_scl()
+t1 = time.perf_counter()
+print(f"{t1 - t0:.6f} {default_scl_source()} {scl.entry_count()}")
+"""
+
+
+def _subprocess_env(cache_dir: pathlib.Path) -> dict:
+    env = dict(os.environ)
+    env["REPRO_SCL_CACHE"] = str(cache_dir)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def _timed_scl_process(cache_dir: pathlib.Path) -> tuple:
+    """(seconds, source, entries) for default_scl() in a fresh process."""
+    out = subprocess.run(
+        [sys.executable, "-c", _TIMED_SCL],
+        capture_output=True,
+        text=True,
+        check=True,
+        env=_subprocess_env(cache_dir),
+        cwd=REPO_ROOT,
+    ).stdout.split()
+    return float(out[0]), out[1], int(out[2])
+
+
+def bench_scl(cache_dir: pathlib.Path) -> dict:
+    """Cold build + warm load, each in its own process."""
+    cold_s, cold_source, entries = _timed_scl_process(cache_dir)
+    assert cold_source == "built", f"expected cold build, got {cold_source}"
+    warm_s, warm_source, warm_entries = _timed_scl_process(cache_dir)
+    assert warm_source == "disk", f"expected disk load, got {warm_source}"
+    assert warm_entries == entries
+    return {
+        "scl_cold_build_s": round(cold_s, 4),
+        "scl_warm_load_s": round(warm_s, 4),
+        "scl_entries": entries,
+    }
+
+
+def bench_search(repeats: int = 5) -> dict:
+    """Single MSO search on the paper's 64x64 spec, warm SCL."""
+    from repro.scl.library import default_scl
+    from repro.search.algorithm import MSOSearcher
+    from repro.spec import FP4, FP8, INT4, INT8, MacroSpec
+
+    spec = MacroSpec(
+        height=64,
+        width=64,
+        mcr=2,
+        input_formats=(INT4, INT8, FP4, FP8),
+        weight_formats=(INT4, INT8, FP4, FP8),
+        mac_frequency_mhz=800.0,
+    )
+    searcher = MSOSearcher(default_scl())
+    samples = []
+    candidates = 0
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = searcher.search(spec)
+        samples.append(time.perf_counter() - t0)
+        candidates = len(result.candidates)
+    return {
+        "search_s": round(statistics.median(samples), 4),
+        "search_candidates": candidates,
+    }
+
+
+def _worker_scl_probe(_arg) -> float:
+    """Runs inside a pool worker: how long the worker spends resolving
+    the default SCL (milliseconds when the cache/initializer did its
+    job, about a second if it had to re-characterize)."""
+    t0 = time.perf_counter()
+    from repro.scl.library import default_scl
+
+    default_scl()
+    return time.perf_counter() - t0
+
+
+def bench_sweep(jobs: int = 0) -> dict:
+    """64-point search-only sweep through the batch engine's pool."""
+    from repro.batch.engine import BatchCompiler
+    from repro.batch.sweep import expand_grid, parse_format_sets
+
+    jobs = jobs or min(4, os.cpu_count() or 1)
+    specs = expand_grid(
+        heights=[8, 16, 32, 64],
+        widths=[8, 16, 32, 64],
+        mcrs=[2],
+        format_sets=parse_format_sets(["INT4,INT8"]),
+        frequencies=[400.0, 800.0],
+        vdds=[0.9, 1.1],
+    )
+    # 4 x 4 x 2 x 2 = 64 design points.
+    engine = BatchCompiler(jobs=jobs, use_cache=False)
+    probes = engine.map(_worker_scl_probe, range(max(jobs, 2)))
+    t0 = time.perf_counter()
+    result = engine.compile_specs(specs, implement=False)
+    elapsed = time.perf_counter() - t0
+    statuses = [r.get("status") for r in result.records]
+    return {
+        "sweep_points": len(specs),
+        "sweep_jobs": jobs,
+        "sweep_s": round(elapsed, 4),
+        "sweep_point_avg_s": round(elapsed / len(specs), 5),
+        "sweep_ok": statuses.count("ok"),
+        "sweep_infeasible": statuses.count("infeasible"),
+        "worker_scl_load_max_s": round(max(probes), 4) if probes else None,
+    }
+
+
+def collect(quick: bool = False) -> dict:
+    metrics: dict = {}
+    with tempfile.TemporaryDirectory(prefix="repro-perf-scl-") as tmp:
+        metrics.update(bench_scl(pathlib.Path(tmp)))
+        metrics.update(bench_search())
+        if not quick:
+            # The sweep runs against the freshly primed temporary cache
+            # so worker warmup exercises the disk artifact path.
+            os.environ["REPRO_SCL_CACHE"] = tmp
+            try:
+                metrics.update(bench_sweep())
+            finally:
+                os.environ.pop("REPRO_SCL_CACHE", None)
+    return metrics
+
+
+def _git_revision() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            check=True,
+            cwd=REPO_ROOT,
+        ).stdout.strip()
+    except Exception:
+        return "unknown"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output", default=str(DEFAULT_OUTPUT),
+        help=f"result JSON (default {DEFAULT_OUTPUT})",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="skip the 64-point sweep"
+    )
+    args = parser.parse_args(argv)
+
+    metrics = collect(quick=args.quick)
+    entry = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "revision": _git_revision(),
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "cpus": os.cpu_count(),
+        },
+        "metrics": metrics,
+    }
+
+    path = pathlib.Path(args.output)
+    history = []
+    if path.is_file():
+        try:
+            history = json.loads(path.read_text())
+            if not isinstance(history, list):
+                history = []
+        except ValueError:
+            history = []
+    history.append(entry)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(history, indent=2) + "\n")
+
+    width = max(len(k) for k in metrics)
+    for key, value in metrics.items():
+        print(f"{key:<{width}}  {value}")
+    print(f"\nappended to {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

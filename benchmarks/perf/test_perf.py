@@ -1,0 +1,58 @@
+"""Perf smoke checks (tier-1): the regressions we refuse to ship.
+
+Full numbers come from ``make perf`` (see ``run_perf.py``); these tests
+only assert the properties that must *never* silently regress, with
+thresholds generous enough for loaded CI runners:
+
+* a warm process loads the persisted SCL from disk — and does so well
+  under the budget that makes per-process re-characterization pointless;
+* a single search on a warm SCL stays interactive.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import time
+
+import run_perf
+
+#: Generous ceilings (the measured values are ~2.5 ms and ~6 ms; the
+#: point is catching a return to seconds-per-process, not timing noise).
+WARM_LOAD_CEILING_S = 2.0
+SEARCH_CEILING_S = 2.0
+
+
+def test_warm_scl_load_smoke(tmp_path: pathlib.Path):
+    """Cold build persists the artifact; a second process must resolve
+    the library from disk (not rebuild) within the ceiling."""
+    cold_s, cold_source, entries = run_perf._timed_scl_process(tmp_path)
+    assert cold_source == "built"
+    assert entries > 150
+    warm_s, warm_source, warm_entries = run_perf._timed_scl_process(tmp_path)
+    assert warm_source == "disk", "second process re-characterized the SCL"
+    assert warm_entries == entries
+    assert warm_s < WARM_LOAD_CEILING_S, (
+        f"warm SCL load took {warm_s:.3f}s (ceiling {WARM_LOAD_CEILING_S}s); "
+        f"cold build was {cold_s:.3f}s"
+    )
+
+
+def test_single_search_smoke(scl):
+    from repro.search.algorithm import MSOSearcher
+    from repro.spec import INT4, INT8, MacroSpec
+
+    spec = MacroSpec(
+        height=64,
+        width=64,
+        mcr=2,
+        input_formats=(INT4, INT8),
+        weight_formats=(INT4, INT8),
+        mac_frequency_mhz=800.0,
+    )
+    searcher = MSOSearcher(scl)
+    searcher.search(spec)  # warm the LUT interpolation caches
+    t0 = time.perf_counter()
+    result = searcher.search(spec)
+    elapsed = time.perf_counter() - t0
+    assert result.frontier
+    assert elapsed < SEARCH_CEILING_S, f"search took {elapsed:.3f}s"

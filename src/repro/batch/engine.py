@@ -13,9 +13,11 @@ Scheduling notes
 ----------------
 * ``jobs=1`` (or a single pending job) runs inline in this process —
   no pool, easier debugging, identical results.
-* On ``fork`` platforms the parent pre-builds the subcircuit library
-  before spawning workers, so every child inherits the ~3 s
-  characterization instead of redoing it.
+* The parent resolves the subcircuit library (persistent disk cache,
+  falling back to one characterization) before spawning workers; a
+  pool initializer then warms every child from the same artifact, so
+  no worker ever re-runs the characterization — under ``fork`` *and*
+  ``spawn`` alike.
 * Job failures are *data*: infeasible specs come back as
   ``status="infeasible"`` records (and are cached — they are
   deterministic), unexpected compiler errors as ``status="error"``
@@ -291,7 +293,9 @@ class BatchCompiler:
         unfinished = dict(jobs_map)
         fatal: Optional[str] = None
         workers = min(self.jobs, len(jobs_map))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
+        with ProcessPoolExecutor(
+            max_workers=workers, initializer=_worker_initializer
+        ) as pool:
             futures = {
                 pool.submit(execute_job, job.payload()): key
                 for key, job in jobs_map.items()
@@ -333,20 +337,46 @@ class BatchCompiler:
         items = list(items)
         if self.jobs <= 1 or len(items) <= 1:
             return [fn(item) for item in items]
+        self._prewarm()
         workers = min(self.jobs, len(items))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
+        with ProcessPoolExecutor(
+            max_workers=workers, initializer=_worker_initializer
+        ) as pool:
             return list(pool.map(fn, items))
 
     @staticmethod
     def _prewarm() -> None:
-        """Build the subcircuit library in the parent so fork-started
-        workers inherit it.  Skipped under spawn/forkserver: those
-        children start fresh interpreters and build their own SCL, so
-        a parent build would be pure wasted startup latency."""
+        """Resolve the subcircuit library once in the parent before any
+        worker spawns.  Fork-started children then inherit the live
+        object; spawn/forkserver children find the persistent artifact
+        this call just built (or verified) and load it in milliseconds
+        through :func:`_worker_initializer` — either way no worker
+        re-runs the characterization.  The one combination where a
+        parent build helps nobody — disk cache disabled *and* children
+        that cannot inherit memory — skips it."""
         import multiprocessing
 
-        if multiprocessing.get_start_method() != "fork":
+        from ..scl.cache import scl_cache_enabled
+
+        if (
+            not scl_cache_enabled()
+            and multiprocessing.get_start_method() != "fork"
+        ):
             return
         from ..scl.library import default_scl
 
         default_scl()
+
+
+def _worker_initializer() -> None:
+    """Pool-worker startup hook: load the SCL from the persistent cache
+    (or inherit it under fork) before the first job lands, so per-job
+    latencies measure compilation, not characterization.  Failures are
+    deliberately swallowed — a worker that cannot preload will simply
+    build lazily on first use, exactly as before."""
+    try:
+        from ..scl.library import default_scl
+
+        default_scl()
+    except Exception:  # pragma: no cover - best-effort warmup
+        pass

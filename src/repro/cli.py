@@ -77,6 +77,12 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="SynDCIM: performance-aware DCIM compiler",
     )
+    parser.add_argument(
+        "--no-scl-cache",
+        action="store_true",
+        help="ignore the persistent subcircuit-library cache and "
+        "re-characterize in every process (also: REPRO_SCL_CACHE=off)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_search = sub.add_parser("search", help="search only; print frontier")
@@ -181,6 +187,12 @@ def _add_batch_exec_args(
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "no_scl_cache", False):
+        # Through the environment so batch workers inherit the choice
+        # regardless of the multiprocessing start method.
+        import os
+
+        os.environ["REPRO_SCL_CACHE"] = "off"
     try:
         return _dispatch(args)
     except SynDCIMError as exc:

@@ -18,6 +18,23 @@ data-input probability.  Clock nets carry two transitions per cycle.
 Input statistics express workloads: the Table II measurement conditions
 (12.5 % input sparsity, 50 % weight sparsity) enter as probabilities on
 the macro's ``x``/``wb`` ports.
+
+Implementation notes (the SCL-build hot path)
+---------------------------------------------
+Characterizing the default subcircuit library evaluates ~70 k cells, but
+only ~2 k *distinct* ``(cell, input statistics)`` combinations — deep
+regular fabrics feed identical statistics into identical cells level
+after level.  Each cell type therefore compiles once into a
+:class:`_CellKernel`: its truth table, per-assignment output values and
+Boolean-difference flip masks become small numpy tensors, and every
+evaluation result is memoized by the exact input-statistics tuple.  The
+propagation itself runs over the integer tables of
+:func:`repro.rtl.netview.net_view` (net-indexed state lists, precompiled
+consumer adjacency) instead of chasing ``inst.conn`` dictionaries.
+
+:func:`propagate_activity_reference` keeps the original, obviously-
+correct per-cell walk as an executable specification; the equivalence
+suite (``tests/test_vector_kernels.py``) pins the fast path to it.
 """
 
 from __future__ import annotations
@@ -25,10 +42,13 @@ from __future__ import annotations
 import itertools
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
 
 from ..errors import SimulationError
 from ..rtl.ir import Module
+from ..rtl.netview import NetView, net_view
 from ..tech.stdcells import Cell, StdCellLibrary
 
 #: Default signal probability / transition density for unannotated inputs.
@@ -49,12 +69,380 @@ class NetActivity:
     density: float
 
 
+#: Safety valve for long-lived processes: a kernel's memo is cleared if
+#: a pathological workload ever produces this many distinct stat tuples.
+_MEMO_LIMIT = 65536
+
+#: Compiled kernels keyed by cell identity.  The kernel holds a strong
+#: reference to its cell, so the id() key can never be recycled while
+#: the entry is alive.
+_KERNELS: Dict[int, "_CellKernel"] = {}
+
+
+class _CellKernel:
+    """Truth-table tensors + memoized evaluations for one cell type."""
+
+    __slots__ = ("cell", "pins", "n", "n_out", "assign", "out_vals",
+                 "flip_diff", "memo")
+
+    def __init__(self, cell: Cell) -> None:
+        if cell.function is None:
+            raise SimulationError(
+                f"{cell.name} has no logic function for activity"
+            )
+        self.cell = cell
+        pins = tuple(cell.input_caps_ff)
+        self.pins = pins
+        n = len(pins)
+        self.n = n
+        outs = cell.outputs
+        self.n_out = len(outs)
+        m = 1 << n
+        out_vals = np.zeros((m, self.n_out), dtype=np.float64)
+        for idx, assignment in enumerate(itertools.product((0, 1), repeat=n)):
+            result = cell.function(dict(zip(pins, assignment)))
+            for oi, name in enumerate(outs):
+                if result.get(name, 0):
+                    out_vals[idx, oi] = 1.0
+        self.out_vals = out_vals
+        #: (2^n, n) matrix of assignment bits; itertools.product order,
+        #: i.e. pin 0 is the most significant bit of the row index.
+        self.assign = np.array(
+            list(itertools.product((0.0, 1.0), repeat=n)), dtype=np.float64
+        ).reshape(m, n)
+        #: flip_diff[i, a, o] = 1 when toggling pin i flips output o
+        #: under assignment a (the Boolean difference indicator).
+        flip_diff = np.zeros((n, m, self.n_out), dtype=np.float64)
+        rows = np.arange(m)
+        for i in range(n):
+            partner = rows ^ (1 << (n - 1 - i))
+            flip_diff[i] = (out_vals != out_vals[partner]).astype(np.float64)
+        self.flip_diff = flip_diff
+        self.memo: Dict[tuple, Tuple[NetActivity, ...]] = {}
+
+    def evaluate(
+        self, probs: Tuple[float, ...], densities: Tuple[float, ...]
+    ) -> Tuple[NetActivity, ...]:
+        """Exact output activity for the given input statistics, one
+        :class:`NetActivity` per cell output (memoized)."""
+        return self.evaluate_key(tuple(probs) + tuple(densities))
+
+    def evaluate_key(self, key: Tuple[float, ...]) -> Tuple[NetActivity, ...]:
+        """Like :meth:`evaluate` with the memo key pre-built: the first
+        ``n`` entries are pin probabilities, the rest pin densities."""
+        hit = self.memo.get(key)
+        if hit is not None:
+            return hit
+        n = self.n
+        probs = key[:n]
+        densities = key[n:]
+        if n == 0:
+            # Tie cells: constant output, no transitions.
+            result = tuple(
+                NetActivity(float(v), 0.0) for v in self.out_vals[0]
+            )
+        else:
+            p = np.asarray(probs, dtype=np.float64)
+            assign = self.assign
+            # Per-assignment, per-pin probability factor; weights are the
+            # row products, multiplied in pin order like the reference.
+            factors = assign * p + (1.0 - assign) * (1.0 - p)
+            weights = factors[:, 0].copy()
+            for j in range(1, n):
+                weights *= factors[:, j]
+            out_prob = weights @ self.out_vals
+            # other_weight = weight / factor_i, with the reference's skip
+            # rules: zero-weight assignments and zero-probability pin
+            # states contribute nothing.
+            w_excl = np.divide(
+                weights[:, None],
+                factors,
+                out=np.zeros_like(factors),
+                where=factors > 0.0,
+            )
+            sens = 0.5 * np.einsum("iao,ai->oi", self.flip_diff, w_excl)
+            density = sens @ np.asarray(densities, dtype=np.float64)
+            result = tuple(
+                NetActivity(
+                    min(max(float(out_prob[oi]), 0.0), 1.0),
+                    min(float(density[oi]), GLITCH_DENSITY_CAP),
+                )
+                for oi in range(self.n_out)
+            )
+        if len(self.memo) >= _MEMO_LIMIT:
+            self.memo.clear()
+        self.memo[key] = result
+        return result
+
+
+def _kernel(cell: Cell) -> _CellKernel:
+    kernel = _KERNELS.get(id(cell))
+    if kernel is None:
+        kernel = _KERNELS[id(cell)] = _CellKernel(cell)
+    return kernel
+
+
 def _cell_output_stats(
     cell: Cell,
     in_probs: Mapping[str, float],
     in_densities: Mapping[str, float],
 ) -> Dict[str, NetActivity]:
     """Exact probability and Najm density for every cell output."""
+    kernel = _kernel(cell)
+    probs = tuple(
+        in_probs.get(pin, DEFAULT_PROBABILITY) for pin in kernel.pins
+    )
+    densities = tuple(
+        in_densities.get(pin, DEFAULT_DENSITY) for pin in kernel.pins
+    )
+    acts = kernel.evaluate(probs, densities)
+    return dict(zip(cell.outputs, acts))
+
+
+class _ActivitySchedule:
+    """Input-statistics-independent propagation structure for one view:
+    classified instances, pin id tuples, consumer adjacency (CSR)."""
+
+    __slots__ = (
+        "comb",          # [(kernel, memo, in_ids, out_ids, fully_connected)]
+        "cons_ptr",      # CSR row pointers per net id (python list)
+        "cons_idx",      # CSR column values: comb indices (python list)
+        "pair_inst",     # np arrays: one entry per (comb inst, input pin)
+        "pair_net",
+        "seq",           # [(d_id, q_id)]
+        "mem",           # [rd_id]
+        "input_seed",    # [(net_id, is_clock)] for the primary inputs
+    )
+
+    def __init__(self, view: NetView) -> None:
+        module = view.module
+        net_id = view.net_id
+        clock_ids = {
+            net_id[c] for c in module.clock_nets if c in net_id
+        }
+        self.input_seed = [
+            (net_id[p], net_id[p] in clock_ids)
+            for p in module.input_ports
+        ]
+        comb: List[tuple] = []
+        pair_inst: List[np.ndarray] = []
+        pair_net: List[np.ndarray] = []
+        seq: List[Tuple[int, int]] = []
+        mem: List[int] = []
+        in_ids = view.in_ids
+        out_ids = view.out_ids
+
+        def pin_column(group, name: str, outputs: bool) -> List[int]:
+            cell = group.cell
+            pins = cell.outputs if outputs else tuple(cell.input_caps_ff)
+            table = group.out_ids if outputs else group.in_ids
+            for j, pin in enumerate(pins):
+                if pin == name:
+                    return table[:, j].tolist()
+            return [-1] * len(group)
+
+        for group in view.groups:
+            cell = group.cell
+            if cell.is_sequential:
+                seq.extend(
+                    zip(
+                        pin_column(group, "D", outputs=False),
+                        pin_column(group, "Q", outputs=True),
+                    )
+                )
+                continue
+            if cell.is_memory:
+                mem.extend(pin_column(group, "RD", outputs=True))
+                continue
+            kern = _kernel(cell)
+            memo = kern.memo
+            base = len(comb)
+            if group.in_ids.shape[1]:
+                fully = (group.in_ids >= 0).all(axis=1).tolist()
+            else:
+                fully = [True] * len(group)
+            for k, idx in enumerate(group.inst_idx.tolist()):
+                comb.append(
+                    (kern, memo, in_ids[idx], out_ids[idx], fully[k])
+                )
+            ins_mat = group.in_ids
+            valid = ins_mat >= 0
+            if valid.any():
+                rows = np.nonzero(valid)[0]
+                pair_inst.append(rows + base)
+                pair_net.append(ins_mat[valid])
+        self.comb = comb
+        if pair_inst:
+            p_inst = np.concatenate(pair_inst)
+            p_net = np.concatenate(pair_net)
+        else:
+            p_inst = np.zeros(0, dtype=np.int64)
+            p_net = np.zeros(0, dtype=np.int64)
+        self.pair_inst = p_inst
+        self.pair_net = p_net
+        # Consumer adjacency in CSR form: which combinational cells wait
+        # on each net (one entry per sink pin, as in the reference).
+        order = np.argsort(p_net, kind="stable")
+        self.cons_idx = p_inst[order].tolist()
+        self.cons_ptr = np.searchsorted(
+            p_net[order], np.arange(view.n_nets + 1), side="left"
+        ).tolist()
+        self.seq = seq
+        self.mem = mem
+
+
+def _schedule(view: NetView) -> _ActivitySchedule:
+    sched = view.derived.get("activity")
+    if sched is None:
+        sched = view.derived["activity"] = _ActivitySchedule(view)
+    return sched
+
+
+def _propagate_arrays(
+    view: NetView,
+    input_stats: Optional[Mapping[str, NetActivity]] = None,
+) -> Tuple[List[float], List[float], List[bool], Dict[str, NetActivity]]:
+    """Core propagation over the compiled view.
+
+    Returns (probability, density, known) lists indexed by net id plus
+    the pass-through stats for ``input_stats`` keys naming no net.
+    """
+    module = view.module
+    sched = _schedule(view)
+    n = view.n_nets
+    prob: List[float] = [0.0] * n
+    dens: List[float] = [0.0] * n
+    known: List[bool] = [False] * n
+    extra: Dict[str, NetActivity] = {}
+    net_id = view.net_id
+
+    for i, is_clock in sched.input_seed:
+        if is_clock:
+            prob[i], dens[i] = 0.5, CLOCK_DENSITY
+        else:
+            prob[i], dens[i] = DEFAULT_PROBABILITY, DEFAULT_DENSITY
+        known[i] = True
+    if input_stats:
+        for name, act in input_stats.items():
+            i = net_id.get(name)
+            if i is None:
+                extra[name] = act
+            else:
+                prob[i], dens[i] = act.probability, act.density
+                known[i] = True
+
+    # Seed sequential/memory outputs first — they are the startpoints
+    # that break the fabric into an acyclic region.
+    for _d_id, q_id in sched.seq:
+        if q_id >= 0 and not known[q_id]:
+            prob[q_id], dens[q_id] = 0.5, 0.5
+            known[q_id] = True
+    for rd_id in sched.mem:
+        if rd_id >= 0 and not known[rd_id]:
+            prob[rd_id], dens[rd_id] = 0.5, 0.0
+            known[rd_id] = True
+
+    # Kahn order over combinational cells; sequential and memory cells
+    # break cycles.  Indegrees count the not-yet-known input pins.
+    n_comb = len(sched.comb)
+    if sched.pair_net.size:
+        known_arr = np.asarray(known, dtype=bool)
+        unresolved = ~known_arr[sched.pair_net]
+        indegree_arr = np.bincount(
+            sched.pair_inst[unresolved], minlength=n_comb
+        )
+        indegree = indegree_arr.tolist()
+    else:
+        indegree = [0] * n_comb
+
+    queue = deque(ci for ci in range(n_comb) if indegree[ci] == 0)
+    cons_ptr = sched.cons_ptr
+    cons_idx = sched.cons_idx
+    comb = sched.comb
+    resolved_cells = 0
+    pget = prob.__getitem__
+    dget = dens.__getitem__
+    # In Kahn order every connected input net is resolved by the time a
+    # cell leaves the queue (a driverless input would have stalled it),
+    # so only unconnected pins (-1) need the defaults.
+    while queue:
+        kernel, memo, in_ids, out_ids, fully_connected = comb[queue.popleft()]
+        if fully_connected:
+            key = tuple(map(pget, in_ids)) + tuple(map(dget, in_ids))
+        else:
+            key = tuple(
+                [
+                    prob[i] if i >= 0 else DEFAULT_PROBABILITY
+                    for i in in_ids
+                ]
+                + [dens[i] if i >= 0 else DEFAULT_DENSITY for i in in_ids]
+            )
+        acts = memo.get(key)
+        if acts is None:
+            acts = kernel.evaluate_key(key)
+        for net, act in zip(out_ids, acts):
+            if net < 0:
+                continue
+            prob[net] = act.probability
+            dens[net] = act.density
+            if not known[net]:
+                known[net] = True
+                for consumer in cons_idx[cons_ptr[net]:cons_ptr[net + 1]]:
+                    indegree[consumer] -= 1
+                    if indegree[consumer] == 0:
+                        queue.append(consumer)
+        resolved_cells += 1
+    if resolved_cells != n_comb:
+        raise SimulationError(
+            f"activity propagation stalled: {resolved_cells} of "
+            f"{n_comb} combinational cells resolved "
+            "(combinational cycle?)"
+        )
+
+    # Two-pass refinement: register outputs seeded at p=0.5 get their real
+    # data probability now that the fabric has been evaluated once.
+    for d_id, q_id in sched.seq:
+        if d_id >= 0 and known[d_id] and q_id >= 0:
+            p = prob[d_id]
+            prob[q_id] = p
+            dens[q_id] = 2.0 * p * (1.0 - p)
+            known[q_id] = True
+    return prob, dens, known, extra
+
+
+def propagate_activity(
+    module: Module,
+    library: StdCellLibrary,
+    input_stats: Optional[Mapping[str, NetActivity]] = None,
+) -> Dict[str, NetActivity]:
+    """Topologically propagate activity across a flat module.
+
+    ``input_stats`` maps primary-input nets (and optionally any net to
+    force) to their statistics; unannotated inputs default to
+    probability/density 0.5.
+    """
+    view = net_view(module, library)
+    prob, dens, known, extra = _propagate_arrays(view, input_stats)
+    stats: Dict[str, NetActivity] = {}
+    names = view.net_names
+    for i, name in enumerate(names):
+        if known[i]:
+            stats[name] = NetActivity(prob[i], dens[i])
+    stats.update(extra)
+    return stats
+
+
+# --------------------------------------------------------------------------
+# Reference implementation (executable specification for the fast path).
+# --------------------------------------------------------------------------
+
+
+def _cell_output_stats_reference(
+    cell: Cell,
+    in_probs: Mapping[str, float],
+    in_densities: Mapping[str, float],
+) -> Dict[str, NetActivity]:
+    """Scalar truth-table walk the vectorized kernel must agree with."""
     pins = list(cell.input_caps_ff)
     if cell.function is None:
         raise SimulationError(f"{cell.name} has no logic function for activity")
@@ -100,17 +488,13 @@ def _cell_output_stats(
     return result
 
 
-def propagate_activity(
+def propagate_activity_reference(
     module: Module,
     library: StdCellLibrary,
     input_stats: Optional[Mapping[str, NetActivity]] = None,
 ) -> Dict[str, NetActivity]:
-    """Topologically propagate activity across a flat module.
-
-    ``input_stats`` maps primary-input nets (and optionally any net to
-    force) to their statistics; unannotated inputs default to
-    probability/density 0.5.
-    """
+    """The original per-cell dictionary walk, kept as the executable
+    specification the vectorized path is tested against."""
     stats: Dict[str, NetActivity] = {}
     clock_nets = set(module.clock_nets)
     for net in module.input_ports:
@@ -121,8 +505,6 @@ def propagate_activity(
     if input_stats:
         stats.update(input_stats)
 
-    # Seed sequential/memory outputs first — they are the startpoints
-    # that break the fabric into an acyclic region.
     for inst in module.instances:
         cell = library.cell(inst.cell_name)
         if cell.is_sequential:
@@ -134,8 +516,6 @@ def propagate_activity(
             if rd is not None:
                 stats.setdefault(rd, NetActivity(0.5, 0.0))
 
-    # Kahn order over combinational cells; sequential and memory cells
-    # break cycles.
     indegree: Dict[str, int] = {}
     consumers: Dict[str, list] = {}
     for inst in module.instances:
@@ -155,7 +535,6 @@ def propagate_activity(
         inst for inst in module.instances
         if indegree.get(inst.name, -1) == 0
     )
-    inst_by_name = {inst.name: inst for inst in module.instances}
     resolved_nets = set(stats)
 
     def resolve(inst) -> None:
@@ -167,7 +546,7 @@ def propagate_activity(
             s = stats.get(net, NetActivity(DEFAULT_PROBABILITY, DEFAULT_DENSITY))
             in_p[pin] = s.probability
             in_d[pin] = s.density
-        outs = _cell_output_stats(cell, in_p, in_d)
+        outs = _cell_output_stats_reference(cell, in_p, in_d)
         for o, act in outs.items():
             net = inst.conn.get(o)
             if net is None:
@@ -191,8 +570,6 @@ def propagate_activity(
             "(combinational cycle?)"
         )
 
-    # Two-pass refinement: register outputs seeded at p=0.5 get their real
-    # data probability now that the fabric has been evaluated once.
     for inst in module.instances:
         cell = library.cell(inst.cell_name)
         if not cell.is_sequential:

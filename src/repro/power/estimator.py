@@ -19,12 +19,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Mapping, Optional
 
+import numpy as np
+
 from ..errors import SimulationError
 from ..rtl.ir import Module
-from ..sta.graph import WireLoadFn, net_capacitance
+from ..rtl.netview import NetView, net_view
+from ..sta.graph import WireLoadFn, net_loads_vector
 from ..tech.process import Process
 from ..tech.stdcells import StdCellLibrary
-from .activity import NetActivity, propagate_activity
+from .activity import NetActivity, _propagate_arrays
 
 
 @dataclass(frozen=True)
@@ -61,6 +64,80 @@ class PowerReport:
         )
 
 
+class _PowerTerms:
+    """Activity-independent power tables for one compiled net view.
+
+    Built once per flat module: total leakage, the registers' clock-pin
+    capacitance, and flat (net id, energy) arrays for cell internal
+    energy and memory read energy — so each :func:`estimate_power` call
+    reduces to a few dot products against the density vector.
+    """
+
+    __slots__ = (
+        "leakage_nw", "seq_ck_cap_ff", "internal_ids", "internal_fj",
+        "memory_ids", "memory_fj",
+    )
+
+    def __init__(self, view: NetView) -> None:
+        leakage = 0.0
+        seq_ck_cap = 0.0
+        internal_ids: list = []
+        internal_fj: list = []
+        memory_ids: list = []
+        memory_fj: list = []
+        for group in view.groups:
+            cell = group.cell
+            count = len(group)
+            leakage += cell.leakage_nw * count
+            if cell.is_memory:
+                # Read energy is spent per word-line transition.
+                e_rd = cell.internal_energy_fj.get("RD", 0.0)
+                wl_col = None
+                for j, pin in enumerate(cell.input_caps_ff):
+                    if pin == "WL":
+                        wl_col = j
+                        break
+                if wl_col is not None and e_rd:
+                    ids = group.in_ids[:, wl_col]
+                    ids = ids[ids >= 0]
+                    memory_ids.append(ids)
+                    memory_fj.append(np.full(ids.size, e_rd))
+                continue
+            if cell.is_sequential:
+                seq_ck_cap += cell.input_caps_ff.get(cell.clk_pin, 0.0) * count
+            out_index = {o: j for j, o in enumerate(cell.outputs)}
+            for out_pin, energy_fj in cell.internal_energy_fj.items():
+                j = out_index.get(out_pin)
+                if j is None:
+                    continue
+                ids = group.out_ids[:, j]
+                ids = ids[ids >= 0]
+                if ids.size:
+                    internal_ids.append(ids)
+                    internal_fj.append(np.full(ids.size, energy_fj))
+        self.leakage_nw = leakage
+        self.seq_ck_cap_ff = seq_ck_cap
+        if internal_ids:
+            self.internal_ids = np.concatenate(internal_ids)
+            self.internal_fj = np.concatenate(internal_fj)
+        else:
+            self.internal_ids = np.zeros(0, dtype=np.int64)
+            self.internal_fj = np.zeros(0)
+        if memory_ids:
+            self.memory_ids = np.concatenate(memory_ids)
+            self.memory_fj = np.concatenate(memory_fj)
+        else:
+            self.memory_ids = np.zeros(0, dtype=np.int64)
+            self.memory_fj = np.zeros(0)
+
+
+def _power_terms(view: NetView) -> _PowerTerms:
+    terms = view.derived.get("power")
+    if terms is None:
+        terms = view.derived["power"] = _PowerTerms(view)
+    return terms
+
+
 def estimate_power(
     module: Module,
     library: StdCellLibrary,
@@ -80,47 +157,40 @@ def estimate_power(
     if frequency_mhz <= 0:
         raise SimulationError("frequency must be positive")
     vdd = vdd or process.vdd_nominal
+    view = net_view(module, library)
+    n = view.n_nets
     if activity is None:
-        activity = propagate_activity(module, library, input_stats)
-    loads = net_capacitance(module, library, wire_load)
+        _prob, dens_l, known_l, _extra = _propagate_arrays(view, input_stats)
+        density = np.asarray(dens_l)
+        known = np.asarray(known_l, dtype=bool)
+    else:
+        density = np.zeros(n)
+        known = np.zeros(n, dtype=bool)
+        net_id = view.net_id
+        for name, act in activity.items():
+            i = net_id.get(name)
+            if i is not None:
+                density[i] = act.density
+                known[i] = True
+    density = np.where(known, density, 0.0)
+    loads = net_loads_vector(view, wire_load)
+    terms = _power_terms(view)
     e_scale = process.energy_scale(vdd)
     l_scale = process.leakage_scale(vdd)
 
     # Net switching: 0.5 C V^2 per transition; D counts transitions/cycle.
     v_nom = process.vdd_nominal
-    switching_fj_per_cycle = 0.0
-    for net, cap in loads.items():
-        act = activity.get(net)
-        if act is None:
-            continue
-        switching_fj_per_cycle += 0.5 * cap * v_nom * v_nom * act.density
+    half_v2 = 0.5 * v_nom * v_nom
+    switching_fj_per_cycle = half_v2 * float(loads @ density)
 
-    internal_fj_per_cycle = 0.0
-    memory_fj_per_cycle = 0.0
-    leakage_nw = 0.0
-    for inst in module.instances:
-        cell = library.cell(inst.cell_name)
-        leakage_nw += cell.leakage_nw
-        if cell.is_memory:
-            rd_net = inst.conn.get("RD")
-            wl_net = inst.conn.get("WL")
-            wl_act = activity.get(wl_net) if wl_net else None
-            reads = wl_act.density if wl_act else 0.0
-            memory_fj_per_cycle += cell.internal_energy_fj.get("RD", 0.0) * reads
-            continue
-        for out_pin, energy_fj in cell.internal_energy_fj.items():
-            net = inst.conn.get(out_pin)
-            if net is None:
-                continue
-            act = activity.get(net)
-            if act is None:
-                continue
-            internal_fj_per_cycle += energy_fj * act.density
-        if cell.is_sequential:
-            # Clock pin energy: the clock toggles twice per cycle into the
-            # register's clock cap even when Q is quiet.
-            ck_cap = cell.input_caps_ff.get(cell.clk_pin, 0.0)
-            internal_fj_per_cycle += 0.5 * ck_cap * v_nom * v_nom * 2.0
+    internal_fj_per_cycle = float(
+        terms.internal_fj @ density[terms.internal_ids]
+    )
+    # Clock pin energy: the clock toggles twice per cycle into each
+    # register's clock cap even when Q is quiet.
+    internal_fj_per_cycle += half_v2 * terms.seq_ck_cap_ff * 2.0
+    memory_fj_per_cycle = float(terms.memory_fj @ density[terms.memory_ids])
+    leakage_nw = terms.leakage_nw
 
     # fJ/cycle * MHz = nW; /1e6 -> mW.  Energy scales with (V/Vnom)^2.
     to_mw = frequency_mhz * 1e-6 * e_scale

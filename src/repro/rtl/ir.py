@@ -46,7 +46,7 @@ class Port:
             raise SynthesisError(f"bad port direction {self.direction!r}")
 
 
-@dataclass
+@dataclass(slots=True)
 class Instance:
     """An instantiation of a cell or submodule.
 
@@ -85,11 +85,23 @@ class Module:
         self.instances: List[Instance] = []
         self.clock_nets: Tuple[str, ...] = ()
         self._instance_names: Dict[str, None] = {}
+        self._revision = 0
+        # (revision, entries, [(child, template)]) — see _leaf_template.
+        self._leaf_template_cache: Optional[tuple] = None
+
+    @property
+    def revision(self) -> int:
+        """Mutation counter: bumped by every structural change, so caches
+        keyed on a module (flatten templates, compiled net views) can
+        detect staleness without hashing the netlist."""
+        return self._revision
 
     # -- construction -----------------------------------------------------
 
     def add_net(self, name: str) -> str:
-        self.nets.setdefault(name, None)
+        if name not in self.nets:
+            self.nets[name] = None
+            self._revision += 1
         return name
 
     def add_port(self, name: str, direction: str) -> str:
@@ -100,6 +112,7 @@ class Module:
                 )
             return name
         self.ports[name] = Port(name, direction)
+        self._revision += 1
         self.add_net(name)
         return name
 
@@ -113,12 +126,33 @@ class Module:
             self.add_net(net)
         self.instances.append(inst)
         self._instance_names[name] = None
+        self._revision += 1
+        return inst
+
+    def _add_instance_unchecked(
+        self, name: str, ref: Union[str, "Module"], conn: Dict[str, str]
+    ) -> Instance:
+        """Construction fast path: takes ownership of ``conn`` (no
+        defensive copy — the saving that matters).  The duplicate-name
+        guard stays: builder-counter names share a namespace with
+        manually added instances (e.g. the controller's ``busy_reg``)."""
+        if name in self._instance_names:
+            raise SynthesisError(f"{self.name}: duplicate instance {name}")
+        inst = Instance(name=name, ref=ref, conn=conn)
+        nets = self.nets
+        for net in conn.values():
+            if net not in nets:
+                nets[net] = None
+        self.instances.append(inst)
+        self._instance_names[name] = None
+        self._revision += 1
         return inst
 
     def set_clocks(self, nets: Sequence[str]) -> None:
         for n in nets:
             self.add_net(n)
         self.clock_nets = tuple(nets)
+        self._revision += 1
 
     # -- queries ------------------------------------------------------------
 
@@ -129,6 +163,11 @@ class Module:
     @property
     def output_ports(self) -> Tuple[str, ...]:
         return tuple(p.name for p in self.ports.values() if p.direction == "output")
+
+    @property
+    def is_flat(self) -> bool:
+        """True when every instance is a library leaf (no hierarchy)."""
+        return all(type(inst.ref) is str for inst in self.instances)
 
     def leaf_count(self) -> int:
         """Total leaf-instance count after full elaboration."""
@@ -193,58 +232,171 @@ class Module:
         Instance names become ``parent/child``; internal nets of
         submodules become ``parent/net``.  Port connections splice child
         port nets onto the parent nets they are bound to.
+
+        The expansion runs over precomputed leaf tables: every resolved
+        net name is computed once and memoized per instantiation (not
+        once per sink pin), children instantiated repeatedly replay
+        their cached :meth:`_leaf_template`, and the flat module is
+        assembled through a bulk path that skips the per-instance
+        bookkeeping of :meth:`add_instance` (name uniqueness holds by
+        construction: hierarchical paths of unique sibling names).
         """
         flat = Module(self.name)
         for port in self.ports.values():
             flat.add_port(port.name, port.direction)
+        nets = flat.nets
         for net in self.nets:
-            flat.add_net(net)
+            if net not in nets:
+                nets[net] = None
         flat.set_clocks(self.clock_nets)
-        self._flatten_into(flat, prefix="", net_map={})
+        entries: List[tuple] = []
+        self._expand_into(entries, "", {}, [])
+        instances = flat.instances
+        names = flat._instance_names
+        for iname, ref, conn in entries:
+            conn_d = dict(conn)
+            instances.append(Instance(name=iname, ref=ref, conn=conn_d))
+            names[iname] = None
+            for net in conn_d.values():
+                if net not in nets:
+                    nets[net] = None
+        flat._revision += len(entries) + 1
         return flat
 
-    def _flatten_into(
-        self, flat: "Module", prefix: str, net_map: Dict[str, str]
-    ) -> None:
-        def resolve(net: str) -> str:
-            return net_map.get(net, f"{prefix}{net}" if prefix else net)
+    def _leaf_template(self) -> List[tuple]:
+        """Cached, module-relative table of every leaf under this module:
+        ``(relative_name, cell_ref, [(pin, relative_net), ...])``.
 
+        Internal nets carry their hierarchical path; nets bound to this
+        module's ports appear under the port name, so an instantiation
+        only has to splice port nets and prefix the rest.
+
+        Staleness is checked against the whole subtree: the cache
+        records ``(module, revision)`` for every module whose instances
+        the expansion read — this one, direct-recursed descendants and
+        template-consumed children alike — so a mutation anywhere below
+        rebuilds the table.
+        """
+        cached = self._leaf_template_cache
+        if cached is not None and all(
+            m._revision == rev for m, rev in cached[1]
+        ):
+            return cached[0]
+        entries: List[tuple] = []
+        deps: List[tuple] = []
+        self._expand_into(entries, "", {}, deps)
+        uniq = {id(m): (m, rev) for m, rev in deps}
+        self._leaf_template_cache = (entries, list(uniq.values()))
+        return entries
+
+    def _expand_into(
+        self,
+        out: List[tuple],
+        prefix: str,
+        net_map: Dict[str, str],
+        deps: List[tuple],
+    ) -> None:
+        """Append resolved leaf entries for everything under ``self``.
+
+        ``net_map`` maps local net names to their names in the target
+        namespace; unmapped nets are prefixed once and memoized into it.
+        Children whose Module object is instantiated more than once in
+        this module expand through their cached leaf template instead of
+        re-walking their hierarchy per instantiation.  ``deps`` collects
+        ``(module, revision)`` for every module this expansion reads, so
+        template caches can detect staleness anywhere in the subtree.
+        """
+        deps.append((self, self._revision))
+        counts: Dict[int, int] = {}
         for inst in self.instances:
-            iname = f"{prefix}{inst.name}"
+            if not inst.is_leaf:
+                key = id(inst.ref)
+                counts[key] = counts.get(key, 0) + 1
+        get = net_map.get
+        for inst in self.instances:
+            iname = prefix + inst.name
             if inst.is_leaf:
-                flat.add_instance(
-                    iname,
-                    inst.ref,
-                    {pin: resolve(net) for pin, net in inst.conn.items()},
-                )
+                items = []
+                for pin, net in inst.conn.items():
+                    r = get(net)
+                    if r is None:
+                        r = net_map[net] = (prefix + net) if prefix else net
+                    items.append((pin, r))
+                out.append((iname, inst.ref, items))
+                continue
+            child = inst.module
+            cmap: Dict[str, str] = {}
+            conn = inst.conn
+            for pname in child.ports:
+                if pname in conn:
+                    pnet = conn[pname]
+                    r = get(pnet)
+                    if r is None:
+                        r = net_map[pnet] = (
+                            (prefix + pnet) if prefix else pnet
+                        )
+                    cmap[pname] = r
+            cprefix = iname + "/"
+            if counts[id(child)] > 1:
+                tmpl = child._leaf_template()
+                deps.extend(child._leaf_template_cache[1])
+                cget = cmap.get
+                for rname, ref, rconn in tmpl:
+                    resolved = []
+                    for pin, net in rconn:
+                        r = cget(net)
+                        if r is None:
+                            r = cmap[net] = cprefix + net
+                        resolved.append((pin, r))
+                    out.append((cprefix + rname, ref, resolved))
             else:
-                child = inst.module
-                child_map: Dict[str, str] = {}
-                for port in child.ports.values():
-                    if port.name in inst.conn:
-                        child_map[port.name] = resolve(inst.conn[port.name])
-                child._flatten_into(flat, prefix=f"{iname}/", net_map=child_map)
+                child._expand_into(out, cprefix, cmap, deps)
 
     def validate(self, library: StdCellLibrary) -> None:
         """Structural sanity check on a flat module.
 
         Confirms every leaf pin exists on its cell, every output port is
-        driven, and no net has multiple drivers.
+        driven, and no net has multiple drivers.  Runs over the compiled
+        integer view (shared with STA/power on the same module); the
+        slow :meth:`net_drivers` walk is only replayed to produce its
+        detailed message when a multi-driver violation is detected.
         """
-        drivers = self.net_drivers(library)
+        import numpy as np
+
+        from .netview import net_view
+
+        view = net_view(self, library)
+        all_out = [g.out_ids.ravel() for g in view.groups if g.out_ids.size]
+        if all_out:
+            ids = np.concatenate(all_out)
+            ids = ids[ids >= 0]
+            driver_counts = np.bincount(ids, minlength=view.n_nets)
+        else:
+            driver_counts = np.zeros(view.n_nets, dtype=np.int64)
+        if (driver_counts > 1).any():
+            self.net_drivers(library)  # raises with the offending pair
+            raise SynthesisError(  # pragma: no cover - defensive
+                f"{self.name}: multiply driven nets"
+            )
+        valid_pins_by_ref: Dict[str, frozenset] = {}
+        for group in view.groups:
+            cell = group.cell
+            valid_pins_by_ref[cell.name] = frozenset(
+                cell.input_caps_ff
+            ) | frozenset(cell.outputs)
         for inst in self.instances:
-            cell = library.cell(inst.cell_name)
-            valid_pins = set(cell.input_caps_ff) | set(cell.outputs)
-            for pin in inst.conn:
-                if pin not in valid_pins:
-                    raise SynthesisError(
-                        f"{self.name}: {inst.name} has no pin {pin!r} "
-                        f"on {cell.name}"
-                    )
+            valid_pins = valid_pins_by_ref[inst.ref]
+            if not valid_pins.issuperset(inst.conn):
+                bad = next(p for p in inst.conn if p not in valid_pins)
+                raise SynthesisError(
+                    f"{self.name}: {inst.name} has no pin {bad!r} "
+                    f"on {inst.ref}"
+                )
         undriven = [
             p
             for p in self.output_ports
-            if p not in drivers and p not in (CONST0, CONST1)
+            if driver_counts[view.net_id[p]] == 0
+            and p not in (CONST0, CONST1)
         ]
         if undriven:
             raise SynthesisError(
@@ -265,7 +417,12 @@ class NetlistBuilder:
 
     def net(self, hint: str = "n") -> str:
         self._auto += 1
-        return self.module.add_net(f"{hint}_{self._auto}")
+        name = f"{hint}_{self._auto}"
+        module = self.module
+        if name not in module.nets:
+            module.nets[name] = None
+            module._revision += 1
+        return name
 
     def nets(self, hint: str, count: int) -> List[str]:
         return [self.net(hint) for _ in range(count)]
@@ -299,12 +456,13 @@ class NetlistBuilder:
     ) -> Instance:
         self._auto += 1
         iname = f"{hint or cell_name.lower()}_{self._auto}"
-        return self.module.add_instance(iname, cell_name, conn)
+        # kwargs give us a fresh dict to hand over without a copy.
+        return self.module._add_instance_unchecked(iname, cell_name, conn)
 
     def submodule(self, sub: Module, hint: str = "", **conn: str) -> Instance:
         self._auto += 1
         iname = f"{hint or sub.name}_{self._auto}"
-        return self.module.add_instance(iname, sub, conn)
+        return self.module._add_instance_unchecked(iname, sub, conn)
 
     # -- small logic helpers (return the output net) --------------------------
 

@@ -1,0 +1,180 @@
+"""Compiled, integer-indexed view of a flat netlist.
+
+The analysis kernels (switching-activity propagation, STA arrival
+passes, power summation) all walk the same flat module.  Doing that
+walk with ``inst.conn.get(pin)`` / ``library.cell(name)`` dictionary
+chasing costs tens of millions of hash lookups per subcircuit-library
+build, so this module compiles the netlist **once** into plain integer
+tables:
+
+* every net gets a dense id (``net_id``/``net_names``);
+* every leaf instance gets its resolved cell object plus tuples of
+  input/output net ids in the cell's pin order (``-1`` = unconnected);
+* instances are additionally grouped by cell type (`CellGroup`) with
+  the pin tables stacked into numpy matrices, which lets the timing and
+  power kernels emit whole edge/energy arrays with a handful of
+  vectorized operations instead of a Python loop per pin.
+
+Views are cached on the module object and invalidated automatically
+when the module is mutated (see :attr:`repro.rtl.ir.Module.revision`),
+so ``validate`` + STA + activity + power on the same flattened module
+pay for one compilation pass, not four traversals.
+"""
+
+from __future__ import annotations
+
+from operator import itemgetter
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..tech.stdcells import Cell, StdCellLibrary
+
+
+class CellGroup:
+    """All instances of one cell type, pin tables stacked."""
+
+    __slots__ = ("cell", "inst_idx", "in_ids", "out_ids")
+
+    def __init__(
+        self,
+        cell: Cell,
+        inst_idx: List[int],
+        in_ids: List[Tuple[int, ...]],
+        out_ids: List[Tuple[int, ...]],
+    ) -> None:
+        self.cell = cell
+        self.inst_idx = np.asarray(inst_idx, dtype=np.int64)
+        n = len(inst_idx)
+        self.in_ids = np.asarray(in_ids, dtype=np.int64).reshape(
+            n, len(cell.input_caps_ff)
+        )
+        self.out_ids = np.asarray(out_ids, dtype=np.int64).reshape(
+            n, len(cell.outputs)
+        )
+
+    def __len__(self) -> int:
+        return len(self.inst_idx)
+
+
+class NetView:
+    """Integer tables for one flat module against one cell library."""
+
+    __slots__ = (
+        "module",
+        "library",
+        "revision",
+        "net_names",
+        "net_id",
+        "cells",
+        "in_ids",
+        "out_ids",
+        "groups",
+        "derived",
+    )
+
+    def __init__(self, module, library: StdCellLibrary) -> None:
+        self.module = module
+        self.library = library
+        self.revision = module.revision
+        names = list(module.nets)
+        self.net_names: List[str] = names
+        nid = {name: i for i, name in enumerate(names)}
+        self.net_id: Dict[str, int] = nid
+
+        cells: List[Cell] = []
+        in_ids: List[Tuple[int, ...]] = []
+        out_ids: List[Tuple[int, ...]] = []
+        cell_cache: Dict[str, Cell] = {}
+        info_cache: Dict[str, tuple] = {}
+        grouping: Dict[str, List[int]] = {}
+        lib_cell = library.cell
+        nid_get = nid.__getitem__
+        for idx, inst in enumerate(module.instances):
+            ref = inst.ref
+            if type(ref) is not str:
+                ref = inst.cell_name  # raises for hierarchical instances
+            info = info_cache.get(ref)
+            if info is None:
+                cell = cell_cache[ref] = lib_cell(ref)
+                pins = tuple(cell.input_caps_ff)
+                outs = cell.outputs
+                info = info_cache[ref] = (
+                    cell,
+                    pins,
+                    outs,
+                    itemgetter(*pins) if pins else None,
+                    len(pins) == 1,
+                    itemgetter(*outs) if outs else None,
+                    len(outs) == 1,
+                )
+            cell, pins, outs, in_get, in1, out_get, out1 = info
+            conn = inst.conn
+            # Fast path: every pin connected (itemgetter + C-level map);
+            # a KeyError means an unconnected pin — fall back to -1 fill.
+            try:
+                if in_get is None:
+                    in_row: Tuple[int, ...] = ()
+                elif in1:
+                    in_row = (nid[in_get(conn)],)
+                else:
+                    in_row = tuple(map(nid_get, in_get(conn)))
+            except KeyError:
+                cg = conn.get
+                in_row = tuple(
+                    -1 if (net := cg(p)) is None else nid[net] for p in pins
+                )
+            try:
+                if out_get is None:
+                    out_row: Tuple[int, ...] = ()
+                elif out1:
+                    out_row = (nid[out_get(conn)],)
+                else:
+                    out_row = tuple(map(nid_get, out_get(conn)))
+            except KeyError:
+                cg = conn.get
+                out_row = tuple(
+                    -1 if (net := cg(o)) is None else nid[net] for o in outs
+                )
+            in_ids.append(in_row)
+            out_ids.append(out_row)
+            cells.append(cell)
+            grouping.setdefault(ref, []).append(idx)
+        self.cells = cells
+        self.in_ids = in_ids
+        self.out_ids = out_ids
+        self.groups: List[CellGroup] = [
+            CellGroup(
+                cell_cache[name],
+                idxs,
+                [in_ids[i] for i in idxs],
+                [out_ids[i] for i in idxs],
+            )
+            for name, idxs in grouping.items()
+        ]
+        #: Scratch space for kernels to stash per-view derived structures
+        #: (timing arrays, activity schedules, power constants, ...).
+        self.derived: Dict[str, object] = {}
+
+    @property
+    def n_nets(self) -> int:
+        return len(self.net_names)
+
+    @property
+    def n_instances(self) -> int:
+        return len(self.cells)
+
+
+def net_view(module, library: StdCellLibrary) -> NetView:
+    """The (cached) compiled view of ``module`` against ``library``.
+
+    The cache key is the library's identity; the entry is rebuilt when
+    the module has been mutated since compilation.
+    """
+    cache = getattr(module, "_net_view_cache", None)
+    if cache is None:
+        cache = module._net_view_cache = {}
+    view = cache.get(id(library))
+    if view is None or view.revision != module.revision:
+        view = cache[id(library)] = NetView(module, library)
+    return view

@@ -2,12 +2,20 @@
 and timing-relevant variants.
 
 See ``docs/architecture.md`` for how this package fits the
-spec-to-layout pipeline.
+spec-to-layout pipeline, and ``docs/performance.md`` for the persistent
+characterization cache (:mod:`repro.scl.cache`).
 """
 
 from .lut import PPARecord, PPATable, interpolate_records
-from .library import KINDS, SubcircuitLibrary, default_scl
+from .library import KINDS, SubcircuitLibrary, default_scl, default_scl_source
 from .builder import build_default_scl, characterize_module, tree_variant
+from .cache import (
+    load_cached_scl,
+    scl_cache_dir,
+    scl_cache_enabled,
+    scl_cache_key,
+    store_cached_scl,
+)
 
 __all__ = [
     "PPARecord",
@@ -16,7 +24,13 @@ __all__ = [
     "KINDS",
     "SubcircuitLibrary",
     "default_scl",
+    "default_scl_source",
     "build_default_scl",
     "characterize_module",
     "tree_variant",
+    "load_cached_scl",
+    "scl_cache_dir",
+    "scl_cache_enabled",
+    "scl_cache_key",
+    "store_cached_scl",
 ]

@@ -37,6 +37,7 @@ from ..rtl.gen.multiplier import generate_mult_mux
 from ..rtl.gen.ofu import OFUConfig, generate_fuse_stage, generate_ofu
 from ..rtl.gen.shiftadder import generate_shift_adder
 from ..rtl.ir import Module
+from ..rtl.netview import net_view
 from ..spec import BF16, FP4, FP8, DataFormat
 from ..sta.analysis import minimum_period_ns
 from ..tech.process import GENERIC_40NM, Process
@@ -70,6 +71,35 @@ MEMCELLS = ("DCIM6T", "DCIM8T", "DCIM12T", "RRAM_HYB", "SRAM6T")
 CHAR_FREQUENCY_MHZ = 1000.0
 
 
+def grid_fingerprint() -> dict:
+    """Canonical description of everything the builder sweeps: part of
+    the persistent cache key (see :mod:`repro.scl.cache`), so editing a
+    grid or the characterization stats invalidates cached artifacts."""
+    return {
+        "tree_sizes": list(TREE_SIZES),
+        "tree_styles": [list(s) for s in TREE_STYLES],
+        "mcr_values": list(MCR_VALUES),
+        "sa_input_bits": list(SA_INPUT_BITS),
+        "sa_tree_widths": list(SA_TREE_WIDTHS),
+        "ofu_columns": list(OFU_COLUMNS),
+        "ofu_widths": list(OFU_WIDTHS),
+        "fuse_shifts": list(FUSE_SHIFTS),
+        "fuse_widths": list(FUSE_WIDTHS),
+        "driver_strengths": list(DRIVER_STRENGTHS),
+        "driver_dims": list(DRIVER_DIMS),
+        "align_formats": [
+            [f.name, f.kind, f.bits, f.exponent, f.mantissa]
+            for f in ALIGN_FORMATS
+        ],
+        "align_lanes": list(ALIGN_LANES),
+        "memcells": list(MEMCELLS),
+        "char_frequency_mhz": CHAR_FREQUENCY_MHZ,
+        "char_port_stats": [
+            [prefix, list(stats)] for prefix, stats in CHAR_PORT_STATS
+        ],
+    }
+
+
 #: Workload-representative port statistics used during characterization
 #: (prefix -> (one-probability, transition density)).  Product bits of a
 #: half-sparse MAC toggle far less than the 0.5/0.5 default; weights are
@@ -94,15 +124,28 @@ CHAR_PORT_STATS: Tuple[Tuple[str, Tuple[float, float]], ...] = (
 )
 
 
+#: Port-name -> NetActivity-or-None resolution cache (port names repeat
+#: heavily across characterized modules: ``in[3]``, ``x[7]``, ...).
+_PORT_STAT_CACHE: dict = {}
+_PORT_STAT_MISS = object()
+
+
 def _char_input_stats(module: Module):
     from ..power.activity import NetActivity
 
     stats = {}
+    cache_get = _PORT_STAT_CACHE.get
     for net in module.input_ports:
-        for prefix, (p, d) in CHAR_PORT_STATS:
-            if net.startswith(prefix):
-                stats[net] = NetActivity(p, d)
-                break
+        hit = cache_get(net, _PORT_STAT_MISS)
+        if hit is _PORT_STAT_MISS:
+            hit = None
+            for prefix, (p, d) in CHAR_PORT_STATS:
+                if net.startswith(prefix):
+                    hit = NetActivity(p, d)
+                    break
+            _PORT_STAT_CACHE[net] = hit
+        if hit is not None:
+            stats[net] = hit
     return stats
 
 
@@ -113,7 +156,7 @@ def characterize_module(
     stage_delays: Tuple[float, ...] = (),
 ) -> PPARecord:
     """Flatten + STA + power + area for one generated subcircuit."""
-    flat = module.flatten()
+    flat = module if module.is_flat else module.flatten()
     flat.validate(library)
     delay = minimum_period_ns(flat, library)
     power = estimate_power(
@@ -123,12 +166,13 @@ def characterize_module(
         CHAR_FREQUENCY_MHZ,
         input_stats=_char_input_stats(flat),
     )
+    view = net_view(flat, library)
     return PPARecord(
         delay_ns=delay,
         energy_pj=power.energy_per_cycle_pj,
-        area_um2=flat.total_area_um2(library),
+        area_um2=sum(g.cell.area_um2 * len(g) for g in view.groups),
         leakage_mw=power.leakage_mw,
-        cells=flat.leaf_count(),
+        cells=view.n_instances,
         stage_delays_ns=stage_delays,
     )
 
@@ -159,13 +203,22 @@ def build_default_scl(
         if verbose:
             print(f"[scl] {msg}")
 
-    # Adder trees.
+    # Adder trees.  The RCA builder takes no carry-reorder decision
+    # (``_build_rca_tree`` never sees the flag), so the ``-r``/``-n``
+    # variants of the pure ripple tree are the same netlist — they are
+    # characterized once and the record shared.
+    tree_cache: dict = {}
     for style, fa in TREE_STYLES:
         for reorder in (True, False):
             variant = tree_variant(style, fa, reorder)
             for n in tree_sizes:
-                mod, _ = generate_adder_tree(n, style, fa, reorder)
-                rec = characterize_module(mod, library, process)
+                key = (style, fa, n, reorder if style != "rca" else False)
+                rec = tree_cache.get(key)
+                if rec is None:
+                    mod, _ = generate_adder_tree(n, style, fa, reorder)
+                    rec = tree_cache[key] = characterize_module(
+                        mod, library, process
+                    )
                 scl.table("adder_tree").add(variant, n, rec)
             log(f"adder_tree {variant}")
 
@@ -191,6 +244,24 @@ def build_default_scl(
     # OFU (combinational, registers priced separately by the estimator)
     # and standalone fusion stages for retiming arithmetic — both adder
     # styles, so the searcher has a "faster adder" to reach for.
+    #
+    # The per-stage characterizations repeat heavily across OFU column
+    # counts and widths (100 stage evaluations collapse onto 40 distinct
+    # (width, shift, style) triples, 12 of which the fuse_stage grid
+    # characterizes anyway); generation and characterization are
+    # deterministic, so identical triples share one record.
+    fuse_cache: dict = {}
+
+    def fuse_record(width: int, shift: int, style: str) -> PPARecord:
+        key = (width, shift, style)
+        rec = fuse_cache.get(key)
+        if rec is None:
+            smod = generate_fuse_stage(width, shift, adder_style=style)
+            rec = fuse_cache[key] = characterize_module(
+                smod, library, process
+            )
+        return rec
+
     for style in ("ripple", "csel"):
         tag = "rpl" if style == "ripple" else "csel"
         for cols in OFU_COLUMNS:
@@ -203,9 +274,7 @@ def build_default_scl(
                 for s in range(1, stages + 1):
                     sw = cfg.stage_width(s - 1)
                     shift = 1 << (s - 1)
-                    smod = generate_fuse_stage(sw, shift, adder_style=style)
-                    srec = characterize_module(smod, library, process)
-                    stage_delays.append(srec.delay_ns)
+                    stage_delays.append(fuse_record(sw, shift, style).delay_ns)
                 rec = characterize_module(
                     mod, library, process, stage_delays=tuple(stage_delays)
                 )
@@ -215,8 +284,7 @@ def build_default_scl(
         for shift in FUSE_SHIFTS:
             variant = f"s{shift}-{tag}"
             for w in FUSE_WIDTHS:
-                mod = generate_fuse_stage(w, shift, adder_style=style)
-                rec = characterize_module(mod, library, process)
+                rec = fuse_record(w, shift, style)
                 scl.table("fuse_stage").add(variant, w, rec)
         log(f"fuse_stage {tag}")
 

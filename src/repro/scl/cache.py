@@ -1,0 +1,317 @@
+"""Persistent on-disk cache for the characterized subcircuit library.
+
+Building the default SCL costs the better part of a second of pure
+characterization — and before this cache existed that price was paid by
+*every process*: each CLI invocation, each pytest session, and each
+batch-engine worker.  The sealed library, however, is a pure function of
+
+* the process corner (every :class:`~repro.tech.process.Process` field),
+* the standard-cell library (geometry, arcs, energies **and** logic
+  behaviour — truth tables are enumerated into the fingerprint so a
+  changed cell function invalidates the artifact), and
+* the builder configuration (characterization grids, port statistics,
+  reference frequency) plus the shared delay/slew/wire-model constants.
+
+so it serializes into a content-addressed JSON artifact: one cold build
+per machine, then every later process loads 261 records in
+milliseconds.  Layout::
+
+    <cache dir>/v<schema>/<key>.json
+
+where ``<cache dir>`` defaults to ``~/.cache/repro/scl`` (under
+``$REPRO_CACHE_DIR`` when set) and ``key`` is a SHA-256 over the
+canonical JSON of the fingerprints above.  Any mismatch — unknown
+schema, wrong key, truncated file, missing table — reads as a miss and
+triggers a fresh build that overwrites the artifact atomically
+(tempfile + ``os.replace``), so a killed process can never leave a
+truncated library behind.
+
+Escape hatches
+--------------
+``REPRO_SCL_CACHE=off|0|false|no|disabled``
+    disable the disk cache entirely (every process re-characterizes);
+``REPRO_SCL_CACHE=<path>``
+    relocate the artifact directory;
+``--no-scl-cache``
+    the CLI flag equivalent (sets the environment variable, so batch
+    workers inherit the choice).
+
+See ``docs/performance.md`` for the full story.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import os
+import pathlib
+import tempfile
+import time
+from typing import Optional
+
+from ..errors import LibraryError
+from ..tech.process import Process
+from ..tech.stdcells import Cell, StdCellLibrary
+from .lut import PPARecord
+
+#: Bump on any incompatible change to the artifact layout *or* to the
+#: record semantics that the fingerprints cannot see.
+SCL_CACHE_SCHEMA = 1
+
+#: Values of ``REPRO_SCL_CACHE`` that mean "disabled" rather than a path.
+_OFF_VALUES = frozenset({"off", "0", "false", "no", "disabled"})
+
+_ENV_VAR = "REPRO_SCL_CACHE"
+
+
+def scl_cache_enabled() -> bool:
+    """Whether the persistent SCL cache is active for this process."""
+    value = os.environ.get(_ENV_VAR, "").strip()
+    return value.lower() not in _OFF_VALUES if value else True
+
+
+def scl_cache_dir() -> pathlib.Path:
+    """Artifact directory: ``$REPRO_SCL_CACHE`` if it names a path,
+    else ``$REPRO_CACHE_DIR/scl``, else ``~/.cache/repro/scl``."""
+    value = os.environ.get(_ENV_VAR, "").strip()
+    if value and value.lower() not in _OFF_VALUES:
+        return pathlib.Path(value).expanduser()
+    base = os.environ.get("REPRO_CACHE_DIR")
+    if base:
+        return pathlib.Path(base).expanduser() / "scl"
+    return pathlib.Path("~/.cache/repro/scl").expanduser()
+
+
+# --------------------------------------------------------------------------
+# Fingerprints.
+# --------------------------------------------------------------------------
+
+
+def _truth_table(cell: Cell) -> Optional[list]:
+    """Exhaustive behaviour of the cell's logic function (inputs are at
+    most five wide, so 32 rows bound the enumeration)."""
+    if cell.function is None:
+        return None
+    pins = tuple(cell.input_caps_ff)
+    rows = []
+    for assignment in itertools.product((0, 1), repeat=len(pins)):
+        outs = cell.function(dict(zip(pins, assignment)))
+        rows.append([int(outs.get(o, 0)) for o in cell.outputs])
+    return rows
+
+
+def cell_fingerprint(cell: Cell) -> dict:
+    """Everything characterization can observe about one cell."""
+    return {
+        "name": cell.name,
+        "area_um2": cell.area_um2,
+        "input_caps_ff": dict(cell.input_caps_ff),
+        "outputs": list(cell.outputs),
+        "arcs": [
+            [a.input_pin, a.output_pin, a.d0_ns, a.r_kohm]
+            for a in cell.arcs
+        ],
+        "leakage_nw": cell.leakage_nw,
+        "internal_energy_fj": dict(cell.internal_energy_fj),
+        "truth_table": _truth_table(cell),
+        "is_sequential": cell.is_sequential,
+        "clk_pin": cell.clk_pin,
+        "clk_to_q_ns": cell.clk_to_q_ns,
+        "setup_ns": cell.setup_ns,
+        "hold_ns": cell.hold_ns,
+        "is_memory": cell.is_memory,
+        "width_um": cell.width_um,
+        "height_um": cell.height_um,
+        "tags": list(cell.tags),
+    }
+
+
+def library_fingerprint(library: StdCellLibrary) -> dict:
+    return {name: cell_fingerprint(library.cell(name)) for name in library.names}
+
+
+def process_fingerprint(process: Process) -> dict:
+    return {
+        "name": process.name,
+        "vdd_nominal": process.vdd_nominal,
+        "vdd_min": process.vdd_min,
+        "vdd_max": process.vdd_max,
+        "vth": process.vth,
+        "alpha": process.alpha,
+        "wire_cap_ff_per_um": process.wire_cap_ff_per_um,
+        "wire_res_kohm_per_um": process.wire_res_kohm_per_um,
+        "track_pitch_um": process.track_pitch_um,
+        "row_height_um": process.row_height_um,
+    }
+
+
+def model_fingerprint() -> dict:
+    """Analysis-model constants the records numerically depend on."""
+    from ..power import activity
+    from ..sta import analysis, graph
+    from ..tech import characterization
+
+    return {
+        "slew_sensitivity": characterization.SLEW_SENSITIVITY,
+        "slew_gain": characterization.SLEW_GAIN,
+        "wlm_ff_per_sink": graph.DEFAULT_WLM_FF_PER_SINK,
+        "start_slew_ns": analysis.START_SLEW_NS,
+        "default_probability": activity.DEFAULT_PROBABILITY,
+        "default_density": activity.DEFAULT_DENSITY,
+        "clock_density": activity.CLOCK_DENSITY,
+        "glitch_density_cap": activity.GLITCH_DENSITY_CAP,
+    }
+
+
+def scl_cache_key(library: StdCellLibrary, process: Process) -> str:
+    """Content hash over everything a cold build is a function of."""
+    from .builder import grid_fingerprint
+
+    payload = {
+        "schema": SCL_CACHE_SCHEMA,
+        "process": process_fingerprint(process),
+        "cells": library_fingerprint(library),
+        "builder": grid_fingerprint(),
+        "model": model_fingerprint(),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+# --------------------------------------------------------------------------
+# Serialization.
+# --------------------------------------------------------------------------
+
+
+def _record_to_dict(record: PPARecord) -> dict:
+    return {
+        "delay_ns": record.delay_ns,
+        "energy_pj": record.energy_pj,
+        "area_um2": record.area_um2,
+        "leakage_mw": record.leakage_mw,
+        "cells": record.cells,
+        "stage_delays_ns": list(record.stage_delays_ns),
+    }
+
+
+def _record_from_dict(data: dict) -> PPARecord:
+    return PPARecord(
+        delay_ns=float(data["delay_ns"]),
+        energy_pj=float(data["energy_pj"]),
+        area_um2=float(data["area_um2"]),
+        leakage_mw=float(data["leakage_mw"]),
+        cells=int(data["cells"]),
+        stage_delays_ns=tuple(
+            float(x) for x in data.get("stage_delays_ns", ())
+        ),
+    )
+
+
+def scl_to_payload(scl, key: str) -> dict:
+    """Serializable form of a sealed library (JSON floats round-trip
+    exactly, so the reloaded records are bit-identical)."""
+    from .library import KINDS
+
+    tables = {}
+    for kind in KINDS:
+        tables[kind] = [
+            [variant, dim, _record_to_dict(rec)]
+            for (variant, dim), rec in scl.table(kind).items()
+        ]
+    return {
+        "schema": SCL_CACHE_SCHEMA,
+        "key": key,
+        "created": time.time(),
+        "process": scl.process.name,
+        "entry_count": scl.entry_count(),
+        "tables": tables,
+    }
+
+
+def scl_from_payload(payload: dict, library: StdCellLibrary, process: Process):
+    """Rebuild a sealed library from a payload; raises on any mismatch
+    (the caller treats every failure as a cache miss)."""
+    from .library import KINDS, SubcircuitLibrary
+
+    if payload.get("schema") != SCL_CACHE_SCHEMA:
+        raise LibraryError("SCL cache: schema mismatch")
+    if payload.get("process") != process.name:
+        raise LibraryError("SCL cache: process mismatch")
+    tables = payload["tables"]
+    scl = SubcircuitLibrary(process=process, cell_library=library)
+    for kind in KINDS:
+        for variant, dim, data in tables[kind]:
+            scl.table(kind).add(str(variant), int(dim), _record_from_dict(data))
+    if scl.entry_count() != int(payload["entry_count"]):
+        raise LibraryError("SCL cache: entry count mismatch")
+    if scl.entry_count() == 0:
+        raise LibraryError("SCL cache: empty artifact")
+    scl.seal()
+    return scl
+
+
+# --------------------------------------------------------------------------
+# Disk plumbing.
+# --------------------------------------------------------------------------
+
+
+def _artifact_path(key: str) -> pathlib.Path:
+    return scl_cache_dir() / f"v{SCL_CACHE_SCHEMA}" / f"{key}.json"
+
+
+def load_cached_scl(library: StdCellLibrary, process: Process):
+    """The persisted library for this tech stack, or ``None``.
+
+    Every failure mode — cache disabled, artifact missing, unreadable,
+    corrupted, fingerprint drift (which changes the key, so the old
+    artifact is simply never looked up) — degrades to ``None`` and a
+    fresh characterization.
+    """
+    if not scl_cache_enabled():
+        return None
+    key = scl_cache_key(library, process)
+    path = _artifact_path(key)
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+        if payload.get("key") != key:
+            raise LibraryError("SCL cache: key mismatch")
+        return scl_from_payload(payload, library, process)
+    except (OSError, ValueError, KeyError, TypeError, LibraryError):
+        return None
+
+
+def store_cached_scl(scl) -> Optional[pathlib.Path]:
+    """Persist a sealed library atomically; returns the artifact path or
+    ``None`` when disabled / the filesystem refuses (a store failure
+    must never break the build that produced the library)."""
+    if not scl_cache_enabled():
+        return None
+    key = scl_cache_key(scl.cell_library, scl.process)
+    path = _artifact_path(key)
+    payload = scl_to_payload(scl, key)
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".json"
+        )
+    except OSError:
+        return None
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh)
+        os.replace(tmp, path)
+    except OSError:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        return None
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path

@@ -73,20 +73,43 @@ class SubcircuitLibrary:
 
 _CACHE: Dict[str, SubcircuitLibrary] = {}
 
+#: How the per-process default SCL was most recently obtained:
+#: ``"built"`` (fresh characterization) or ``"disk"`` (persistent
+#: cache artifact).  Diagnostics for tests and the perf harness.
+_SOURCE: Dict[str, str] = {}
+
 
 def default_scl(
     process: Optional[Process] = None, verbose: bool = False
 ) -> SubcircuitLibrary:
-    """Shared, lazily built SCL for the default cell library."""
+    """Shared, lazily built SCL for the default cell library.
+
+    Resolution order: the in-process cache, then the persistent on-disk
+    artifact (see :mod:`repro.scl.cache` — milliseconds), then a full
+    characterization whose result is persisted for every later process.
+    """
     from .builder import build_default_scl
+    from .cache import load_cached_scl, store_cached_scl
 
     process = process or GENERIC_40NM
     key = process.name
     if key not in _CACHE:
-        _CACHE[key] = build_default_scl(
-            default_library(), process, verbose=verbose
-        )
+        library = default_library()
+        scl = load_cached_scl(library, process)
+        if scl is None:
+            scl = build_default_scl(library, process, verbose=verbose)
+            store_cached_scl(scl)
+            _SOURCE[key] = "built"
+        else:
+            _SOURCE[key] = "disk"
+        _CACHE[key] = scl
     return _CACHE[key]
+
+
+def default_scl_source(process: Optional[Process] = None) -> Optional[str]:
+    """``"built"``/``"disk"`` for an already-resolved default SCL, else
+    ``None`` (never triggers a build)."""
+    return _SOURCE.get((process or GENERIC_40NM).name)
 
 
 def cached_default_scl(

@@ -102,6 +102,11 @@ class PPATable:
         self.kind = kind
         self._records: Dict[Tuple[str, int], PPARecord] = {}
         self._dims_by_variant: Dict[str, List[int]] = {}
+        #: Interpolated/extrapolated lookups memoized per (variant, dim)
+        #: — the searcher prices the same off-grid sizes thousands of
+        #: times per sweep.  Records are frozen, so sharing is safe;
+        #: :meth:`add` invalidates (tables are sealed in practice).
+        self._interp_cache: Dict[Tuple[str, int], PPARecord] = {}
 
     def __len__(self) -> int:
         return len(self._records)
@@ -117,12 +122,17 @@ class PPATable:
         self._records[key] = record
         dims = self._dims_by_variant.setdefault(variant, [])
         bisect.insort(dims, dim)
+        self._interp_cache.clear()
 
     def exact(self, variant: str, dim: int) -> Optional[PPARecord]:
         return self._records.get((variant, dim))
 
     def lookup(self, variant: str, dim: int) -> PPARecord:
-        rec = self._records.get((variant, dim))
+        key = (variant, dim)
+        rec = self._records.get(key)
+        if rec is not None:
+            return rec
+        rec = self._interp_cache.get(key)
         if rec is not None:
             return rec
         dims = self._dims_by_variant.get(variant)
@@ -133,7 +143,9 @@ class PPATable:
             )
         if len(dims) == 1:
             only = self._records[(variant, dims[0])]
-            return only.scaled(dim / dims[0])
+            rec = only.scaled(dim / dims[0])
+            self._interp_cache[key] = rec
+            return rec
         pos = bisect.bisect_left(dims, dim)
         if pos == 0:
             lo_d, hi_d = dims[0], dims[1]
@@ -155,6 +167,7 @@ class PPATable:
                 cells=max(rec.cells, 0),
                 stage_delays_ns=rec.stage_delays_ns,
             )
+        self._interp_cache[key] = rec
         return rec
 
     def items(self):

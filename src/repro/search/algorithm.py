@@ -252,7 +252,12 @@ class MSOSearcher:
                     candidate_arch = move(spec, est.arch)
                     if candidate_arch is None:
                         continue
-                    candidate = self._estimate(spec, candidate_arch)
+                    try:
+                        candidate = self._estimate(spec, candidate_arch)
+                    except Exception:
+                        # Same tolerance as the primary loop: one invalid
+                        # cross-path candidate must not kill the search.
+                        continue
                     if candidate.critical_path_ns < est.critical_path_ns - 1e-6:
                         improved = (name, candidate)
                         break

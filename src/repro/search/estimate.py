@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Dict, List, Optional, Tuple
 
 from ..arch import MacroArchitecture
@@ -67,11 +68,14 @@ class MacroEstimate:
     mode_input: DataFormat
     mode_weight: DataFormat
 
-    @property
+    # cached_property works on frozen dataclasses (it writes straight to
+    # __dict__); the repair loop reads these on every escalation step,
+    # so the max() over segments runs once per estimate, not per access.
+    @cached_property
     def critical_path_ns(self) -> float:
         return max(s.delay_ns for s in self.segments)
 
-    @property
+    @cached_property
     def critical_segment(self) -> Segment:
         return max(self.segments, key=lambda s: s.delay_ns)
 

@@ -14,12 +14,13 @@ naturally.
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
-from ..errors import TimingError
+import numpy as np
+
 from ..rtl.ir import Instance, Module
+from ..rtl.netview import NetView, net_view
 from ..tech.stdcells import Cell, StdCellLibrary, TimingArc
 
 #: Extra wire capacitance per fanout pin when no placement data exists
@@ -58,28 +59,49 @@ class TimingGraph:
         return len(self.module.nets)
 
 
+def net_loads_vector(
+    view: NetView, wire_load: Optional[WireLoadFn] = None
+) -> np.ndarray:
+    """Per-net total load (fF) as a dense vector over the view's net ids.
+
+    The sink-capacitance and fanout-count accumulations are structural
+    and cached on the view; only the wire-load model is applied per
+    call (the default WLM vectorizes, a custom function is evaluated
+    once per net)."""
+    cached = view.derived.get("net_loads")
+    if cached is None:
+        n = view.n_nets
+        sink_cap = np.zeros(n, dtype=np.float64)
+        sink_count = np.zeros(n, dtype=np.float64)
+        for group in view.groups:
+            caps = group.cell.input_caps_ff
+            for j, pin in enumerate(caps):
+                ids = group.in_ids[:, j]
+                ids = ids[ids >= 0]
+                if ids.size:
+                    np.add.at(sink_cap, ids, caps[pin])
+                    np.add.at(sink_count, ids, 1.0)
+        cached = view.derived["net_loads"] = (sink_cap, sink_count)
+    sink_cap, sink_count = cached
+    if wire_load is None:
+        return sink_cap + DEFAULT_WLM_FF_PER_SINK * sink_count
+    wire = np.fromiter(
+        (wire_load(name) for name in view.net_names),
+        dtype=np.float64,
+        count=view.n_nets,
+    )
+    return sink_cap + wire
+
+
 def net_capacitance(
     module: Module,
     library: StdCellLibrary,
     wire_load: Optional[WireLoadFn] = None,
 ) -> Dict[str, float]:
     """Total load on each net: sink pin caps plus the wire model."""
-    loads: Dict[str, float] = {net: 0.0 for net in module.nets}
-    sink_counts: Dict[str, int] = {net: 0 for net in module.nets}
-    for inst in module.instances:
-        cell = library.cell(inst.cell_name)
-        for pin, cap in cell.input_caps_ff.items():
-            net = inst.conn.get(pin)
-            if net is None:
-                continue
-            loads[net] += cap
-            sink_counts[net] += 1
-    for net in loads:
-        if wire_load is not None:
-            loads[net] += wire_load(net)
-        else:
-            loads[net] += DEFAULT_WLM_FF_PER_SINK * sink_counts[net]
-    return loads
+    view = net_view(module, library)
+    loads = net_loads_vector(view, wire_load)
+    return dict(zip(view.net_names, loads.tolist()))
 
 
 def build_timing_graph(
