@@ -15,20 +15,30 @@ trajectory is tracked PR over PR:
 ``search_s``
     one ``MSOSearcher.search()`` on the paper's 64x64 spec (median of
     repeats, warm SCL).
+``implement_s`` / ``place_s`` / ``drc_s`` / ``route_s``
+    one full ``SynDCIM().compile()`` **with implementation** on the
+    quickstart 64x64 spec (median of fresh compiles, warm SCL), plus
+    the isolated hot stages of the physical flow on the same netlist —
+    the numbers the vectorized layout/DRC/routing kernels moved.
 ``sweep_s`` / ``sweep_points`` / ``worker_scl_load_max_s``
     an end-to-end 64-point search sweep through the batch engine's
     process pool with the result cache off — plus the slowest
     per-worker SCL resolution time, which proves workers warm from the
     persistent cache instead of re-characterizing.
+``sweep_impl_s`` / ``sweep_impl_points``
+    a 16-point **implemented** sweep (search + full physical flow per
+    point) through the batch engine — the workload the implement-flow
+    kernels exist for.
 
 Run directly (``python benchmarks/perf/run_perf.py``) or via
 ``make perf``.  ``--output`` overrides the JSON path; ``--quick`` skips
-the sweep.
+the sweeps.
 """
 
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import os
 import pathlib
@@ -117,6 +127,105 @@ def bench_search(repeats: int = 5) -> dict:
     }
 
 
+def _quickstart_spec():
+    from repro.spec import FP4, FP8, INT4, INT8, MacroSpec
+
+    return MacroSpec(
+        height=64,
+        width=64,
+        mcr=2,
+        input_formats=(INT4, INT8, FP4, FP8),
+        weight_formats=(INT4, INT8, FP4, FP8),
+        mac_frequency_mhz=800.0,
+    )
+
+
+def bench_implement(repeats: int = 3) -> dict:
+    """Full compile-with-implementation plus isolated physical stages.
+
+    Each repeat runs a fresh ``SynDCIM().compile(spec)`` (only the
+    process-wide SCL cache is warm), so ``implement_s`` measures the
+    complete quickstart flow: search, RTL generation, flatten,
+    synthesis passes, SDP placement, routing, DRC/LVS and post-layout
+    STA/power.  A ``gc.collect()`` between repeats keeps prior results
+    from inflating later collector pauses (standard timing hygiene).
+    """
+    from repro.compiler.flow import ImplementSession
+    from repro.compiler.syndcim import SynDCIM
+    from repro.layout.drc import run_drc
+    from repro.layout.route import estimate_routing
+    from repro.layout.sdp import place_macro
+
+    spec = _quickstart_spec()
+    SynDCIM().compile(spec)  # warm SCL + interpolation caches
+
+    samples = []
+    result = None
+    for _ in range(repeats):
+        gc.collect()
+        compiler = SynDCIM()
+        t0 = time.perf_counter()
+        result = compiler.compile(spec)
+        samples.append(time.perf_counter() - t0)
+    impl = result.implementation
+
+    # Isolated hot stages on a fresh optimized netlist.
+    session = ImplementSession(spec)
+    flat, _shape, _stats = session.netlist(impl.arch)
+    place_samples, drc_samples, route_samples = [], [], []
+    for _ in range(repeats):
+        gc.collect()
+        t0 = time.perf_counter()
+        placement = place_macro(flat, session.library)
+        place_samples.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        estimate_routing(flat, placement, session.library, session.process)
+        route_samples.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        report = run_drc(flat, placement, session.library)
+        drc_samples.append(time.perf_counter() - t0)
+        if not report.clean:  # never time a broken layout (-O safe)
+            raise RuntimeError(f"DRC regression: {report.describe()}")
+    return {
+        "implement_s": round(statistics.median(samples), 4),
+        "implement_signoff_clean": bool(impl.signoff_clean),
+        "implement_cells": int(impl.summary()["cells"]),
+        "place_s": round(statistics.median(place_samples), 4),
+        "route_s": round(statistics.median(route_samples), 4),
+        "drc_s": round(statistics.median(drc_samples), 4),
+    }
+
+
+def bench_implement_sweep(jobs: int = 0) -> dict:
+    """16-point implemented sweep through the batch engine."""
+    from repro.batch.engine import BatchCompiler
+    from repro.batch.sweep import expand_grid, parse_format_sets
+
+    jobs = jobs or min(4, os.cpu_count() or 1)
+    specs = expand_grid(
+        heights=[8, 16, 32, 64],
+        widths=[8, 16],
+        mcrs=[2],
+        format_sets=parse_format_sets(["INT4,INT8"]),
+        frequencies=[400.0, 800.0],
+        vdds=[0.9],
+    )
+    # 4 x 2 x 2 = 16 implemented design points.
+    engine = BatchCompiler(jobs=jobs, use_cache=False)
+    t0 = time.perf_counter()
+    result = engine.compile_specs(specs, implement=True)
+    elapsed = time.perf_counter() - t0
+    statuses = [r.get("status") for r in result.records]
+    return {
+        "sweep_impl_points": len(specs),
+        "sweep_impl_jobs": jobs,
+        "sweep_impl_s": round(elapsed, 4),
+        "sweep_impl_point_avg_s": round(elapsed / len(specs), 5),
+        "sweep_impl_ok": statuses.count("ok"),
+        "sweep_impl_infeasible": statuses.count("infeasible"),
+    }
+
+
 def _worker_scl_probe(_arg) -> float:
     """Runs inside a pool worker: how long the worker spends resolving
     the default SCL (milliseconds when the cache/initializer did its
@@ -165,12 +274,14 @@ def collect(quick: bool = False) -> dict:
     with tempfile.TemporaryDirectory(prefix="repro-perf-scl-") as tmp:
         metrics.update(bench_scl(pathlib.Path(tmp)))
         metrics.update(bench_search())
+        metrics.update(bench_implement())
         if not quick:
-            # The sweep runs against the freshly primed temporary cache
+            # The sweeps run against the freshly primed temporary cache
             # so worker warmup exercises the disk artifact path.
             os.environ["REPRO_SCL_CACHE"] = tmp
             try:
                 metrics.update(bench_sweep())
+                metrics.update(bench_implement_sweep())
             finally:
                 os.environ.pop("REPRO_SCL_CACHE", None)
     return metrics

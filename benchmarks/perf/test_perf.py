@@ -6,20 +6,26 @@ thresholds generous enough for loaded CI runners:
 
 * a warm process loads the persisted SCL from disk — and does so well
   under the budget that makes per-process re-characterization pointless;
-* a single search on a warm SCL stays interactive.
+* a single search on a warm SCL stays interactive;
+* a full compile **with implementation** (the vectorized layout/DRC/
+  routing/synthesis kernels) stays interactive — the regression guard
+  for the implement-flow rewrite.
 """
 
 from __future__ import annotations
 
+import gc
 import pathlib
 import time
 
 import run_perf
 
-#: Generous ceilings (the measured values are ~2.5 ms and ~6 ms; the
-#: point is catching a return to seconds-per-process, not timing noise).
+#: Generous ceilings (the measured values are ~2.5 ms, ~6 ms and
+#: ~0.55 s; the point is catching a return to seconds-per-call, not
+#: timing noise on loaded CI runners).
 WARM_LOAD_CEILING_S = 2.0
 SEARCH_CEILING_S = 2.0
+IMPLEMENT_CEILING_S = 3.0
 
 
 def test_warm_scl_load_smoke(tmp_path: pathlib.Path):
@@ -56,3 +62,25 @@ def test_single_search_smoke(scl):
     elapsed = time.perf_counter() - t0
     assert result.frontier
     assert elapsed < SEARCH_CEILING_S, f"search took {elapsed:.3f}s"
+
+
+def test_full_implement_smoke(scl):
+    """One complete compile with implementation on the quickstart spec
+    must stay well under the ceiling — this is the tier-1 guard for the
+    vectorized implement-flow kernels (DRC overlap sweep, routing
+    reductions, NetView synthesis passes, array shelf packing)."""
+    from repro.compiler.syndcim import SynDCIM
+
+    spec = run_perf._quickstart_spec()
+    compiler = SynDCIM(scl=scl)
+    compiler.compile(spec)  # warm interpolation caches
+    gc.collect()
+    t0 = time.perf_counter()
+    result = SynDCIM(scl=scl).compile(spec)
+    elapsed = time.perf_counter() - t0
+    impl = result.implementation
+    assert impl is not None and impl.signoff_clean
+    assert impl.drc.clean and impl.lvs.clean and impl.timing.met
+    assert elapsed < IMPLEMENT_CEILING_S, (
+        f"full implement took {elapsed:.3f}s (ceiling {IMPLEMENT_CEILING_S}s)"
+    )

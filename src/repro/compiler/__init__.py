@@ -4,12 +4,13 @@ See ``docs/architecture.md`` for how this package fits the
 spec-to-layout pipeline.
 """
 
-from .flow import Implementation, implement
+from .flow import Implementation, ImplementSession, implement
 from .report import format_pareto_ascii, format_table
 from .syndcim import CompileResult, SynDCIM
 
 __all__ = [
     "Implementation",
+    "ImplementSession",
     "implement",
     "format_pareto_ascii",
     "format_table",

@@ -29,7 +29,7 @@ from ..search.estimate import MacroEstimate
 from ..spec import MacroSpec, PPAWeights
 from ..tech.process import GENERIC_40NM, Process
 from ..tech.stdcells import StdCellLibrary, default_library
-from .flow import Implementation, implement
+from .flow import Implementation, ImplementSession, implement
 
 
 @dataclass
@@ -145,17 +145,24 @@ class SynDCIM:
         """Implement; when post-layout STA misses (wires the LUT model
         could not see), escalate with the same fix families the searcher
         uses and re-implement — the paper's loop between the searcher
-        and the standard digital flow."""
+        and the standard digital flow.
+
+        All attempts share one :class:`ImplementSession`, so escalation
+        is incremental: the bitcell array (and its flatten template) is
+        generated once, and revisited architectures reuse their cached
+        netlist and implementation outright instead of re-running the
+        flow from RTL generation.
+        """
         from ..search.fixes import MAC_FIXES, OFU_FIXES
 
-        impl = implement(
+        session = ImplementSession(
             spec,
-            arch,
             library=self.library,
             process=self.process,
             input_sparsity=input_sparsity,
             weight_sparsity=weight_sparsity,
         )
+        impl = session.implement(arch)
         attempts = 1
         while not impl.timing.met and attempts < max_attempts:
             endpoint = impl.timing.endpoint
@@ -169,14 +176,7 @@ class SynDCIM:
                     break
             if next_arch is None:
                 break
-            impl = implement(
-                spec,
-                next_arch,
-                library=self.library,
-                process=self.process,
-                input_sparsity=input_sparsity,
-                weight_sparsity=weight_sparsity,
-            )
+            impl = session.implement(next_arch)
             attempts += 1
         return impl
 

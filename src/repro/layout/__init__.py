@@ -5,9 +5,16 @@ See ``docs/architecture.md`` for how this package fits the
 spec-to-layout pipeline.
 """
 
-from .geometry import Rect, bounding_box, half_perimeter, sweep_overlaps
-from .sdp import Placement, SDPParams, place_macro
-from .route import RoutingEstimate, estimate_routing
+from .geometry import (
+    Rect,
+    bounding_box,
+    half_perimeter,
+    overlap_pairs,
+    rect_arrays,
+    sweep_overlaps,
+)
+from .sdp import CellRects, Placement, SDPParams, place_macro
+from .route import RoutingEstimate, estimate_routing, estimate_routing_reference
 from .drc import DRCReport, DRCViolation, run_drc
 from .lvs import LVSMismatch, LVSReport, extract_layout_netlist, run_lvs
 from .gds import read_gds_json, write_gds_json
@@ -16,12 +23,16 @@ __all__ = [
     "Rect",
     "bounding_box",
     "half_perimeter",
+    "overlap_pairs",
+    "rect_arrays",
     "sweep_overlaps",
+    "CellRects",
     "Placement",
     "SDPParams",
     "place_macro",
     "RoutingEstimate",
     "estimate_routing",
+    "estimate_routing_reference",
     "DRCReport",
     "DRCViolation",
     "run_drc",

@@ -1,9 +1,24 @@
-"""Planar geometry primitives for placement, routing and DRC."""
+"""Planar geometry primitives for placement, routing and DRC.
+
+Two tiers live here:
+
+* scalar :class:`Rect` objects plus :func:`sweep_overlaps`, the pinned
+  reference implementations used by the unit tests and by anything that
+  handles a handful of rectangles;
+* the vectorized kernels :func:`rect_arrays` / :func:`overlap_pairs`
+  that DRC and routing run on whole placements — a grid-binned sweep
+  over coordinate arrays that replaces the per-pair
+  :meth:`Rect.overlaps` calls (the single hottest loop of the
+  implementation flow) while producing the exact pair set, in the exact
+  emission order, of the scalar sweep.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Tuple
+from typing import Iterable, Iterator, List, Mapping, Tuple
+
+import numpy as np
 
 from ..errors import LayoutError
 
@@ -81,8 +96,11 @@ def half_perimeter(points: Iterable[Tuple[float, float]]) -> float:
 def sweep_overlaps(rects: List[Tuple[str, Rect]]) -> Iterator[Tuple[str, str]]:
     """Yield overlapping pairs with a sort-and-sweep over x intervals.
 
-    ``O(n log n + k)`` in practice for row-based placements, which keeps
-    DRC tractable on hundred-thousand-cell layouts.
+    ``O(n log n + k)`` in practice for row-based placements.  This is
+    the scalar **reference implementation**: :func:`overlap_pairs`
+    computes the same pair set (same order) over coordinate arrays and
+    is what :mod:`repro.layout.drc` actually runs; the equivalence suite
+    in ``tests/test_layout_kernels.py`` pins the two together.
     """
     events = sorted(rects, key=lambda item: item[1].x0)
     active: List[Tuple[str, Rect]] = []
@@ -95,3 +113,139 @@ def sweep_overlaps(rects: List[Tuple[str, Rect]]) -> Iterator[Tuple[str, str]]:
                     yield (other_name, name)
         active = still_active
         active.append((name, rect))
+
+
+# ---------------------------------------------------------------------------
+# Vectorized kernels (coordinate-array tier).
+# ---------------------------------------------------------------------------
+
+
+def rect_arrays(cells: Mapping[str, Rect]) -> Tuple[List[str], np.ndarray]:
+    """``(names, coords)`` for a name->Rect mapping.
+
+    ``coords`` is an ``(n, 4)`` float64 array of ``x0, y0, x1, y1``
+    rows.  Mappings that natively carry their coordinate arrays (the
+    placer's lazy cell map) hand them over without materializing any
+    :class:`Rect`; plain dicts are converted.
+    """
+    native = getattr(cells, "coord_arrays", None)
+    if native is not None:
+        return native()
+    names = list(cells)
+    coords = np.empty((len(names), 4), dtype=np.float64)
+    for i, name in enumerate(names):
+        r = cells[name]
+        coords[i, 0] = r.x0
+        coords[i, 1] = r.y0
+        coords[i, 2] = r.x1
+        coords[i, 3] = r.y1
+    return names, coords
+
+
+def _expand_runs(starts: np.ndarray, ends: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Expand per-row ranges ``[starts[i], ends[i])`` into flat
+    ``(row_index, position)`` pair arrays."""
+    counts = np.maximum(ends - starts, 0)
+    total = int(counts.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    rows = np.repeat(np.arange(len(counts), dtype=np.int64), counts)
+    offsets = np.repeat(np.cumsum(counts) - counts, counts)
+    positions = np.arange(total, dtype=np.int64) - offsets + np.repeat(starts, counts)
+    return rows, positions
+
+
+def overlap_pairs(
+    names: List[str], coords: np.ndarray, eps: float = 1e-9
+) -> List[Tuple[str, str]]:
+    """All strictly-overlapping rectangle pairs, vectorized.
+
+    Produces exactly the pairs (and the emission order) of the scalar
+    :func:`sweep_overlaps` reference: pairs come out sorted by the
+    x-sorted event rank of the later rectangle, then of the earlier one,
+    each pair as ``(earlier_name, later_name)``.
+
+    The sweep is grid-binned: rectangles are assigned to x-columns at
+    least as wide as the widest rectangle (so each touches at most two
+    columns), candidates inside a column come from a y-sorted interval
+    expansion, and the exact overlap predicate is evaluated on the
+    candidate arrays in one shot.
+    """
+    n = len(names)
+    if n < 2:
+        return []
+    x0 = np.ascontiguousarray(coords[:, 0])
+    y0 = np.ascontiguousarray(coords[:, 1])
+    x1 = np.ascontiguousarray(coords[:, 2])
+    y1 = np.ascontiguousarray(coords[:, 3])
+
+    # Event ranks of the scalar sweep: stable sort by x0.
+    order = np.argsort(x0, kind="stable")
+    rank = np.empty(n, dtype=np.int64)
+    rank[order] = np.arange(n, dtype=np.int64)
+
+    # X-columns: at least as wide as the widest rect (every rect spans
+    # at most two columns), at most ~1k columns across the extent.
+    min_x = float(x0.min())
+    extent = float(x1.max()) - min_x
+    bin_w = max(float((x1 - x0).max()), extent / 1024.0, eps)
+    b_lo = np.floor((x0 - min_x) / bin_w).astype(np.int64)
+    b_hi = np.floor((x1 - min_x) / bin_w).astype(np.int64)
+
+    second = b_hi != b_lo
+    entry_rect = np.concatenate([np.arange(n, dtype=np.int64), np.nonzero(second)[0]])
+    entry_bin = np.concatenate([b_lo, b_hi[second]])
+
+    # Group entries by column, candidates via y-interval expansion.
+    grouping = np.argsort(entry_bin, kind="stable")
+    sorted_bins = entry_bin[grouping]
+    cuts = np.nonzero(np.diff(sorted_bins))[0] + 1
+    group_starts = np.concatenate([[0], cuts])
+    group_ends = np.concatenate([cuts, [len(sorted_bins)]])
+
+    cand_a: List[np.ndarray] = []
+    cand_b: List[np.ndarray] = []
+    for s, e in zip(group_starts, group_ends):
+        if e - s < 2:
+            continue
+        members = entry_rect[grouping[s:e]]
+        ys = y0[members]
+        local = np.argsort(ys, kind="stable")
+        members = members[local]
+        ys = ys[local]
+        tops = y1[members]
+        # For each member i, members i+1..end_i start below i's top.
+        run_end = np.searchsorted(ys, tops - eps, side="left")
+        rows, cols = _expand_runs(
+            np.arange(1, len(members) + 1, dtype=np.int64), run_end
+        )
+        if len(rows):
+            cand_a.append(members[rows])
+            cand_b.append(members[cols])
+    if not cand_a:
+        return []
+    a = np.concatenate(cand_a)
+    b = np.concatenate(cand_b)
+
+    # Exact predicate (Rect.overlaps semantics) on the candidates.
+    keep = (
+        (x0[a] < x1[b] - eps)
+        & (x0[b] < x1[a] - eps)
+        & (y0[a] < y1[b] - eps)
+        & (y0[b] < y1[a] - eps)
+    )
+    a = a[keep]
+    b = b[keep]
+    if not len(a):
+        return []
+
+    ra, rb = rank[a], rank[b]
+    lo = np.minimum(ra, rb)
+    hi = np.maximum(ra, rb)
+    keys = np.unique(hi * n + lo)  # dedupe + scalar emission order
+    lo = keys % n
+    hi = keys // n
+    first = order[lo]
+    second_ = order[hi]
+    return [(names[i], names[j]) for i, j in zip(first, second_)]

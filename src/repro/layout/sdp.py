@@ -19,16 +19,30 @@ digital core), it:
    remaining gap — the structured interleaving that keeps product wires
    short and routing uniform.
 
+The packing kernels run over precomputed per-partition width arrays:
+cell widths and areas are resolved once per unique cell type, shelf rows
+are cut with prefix-sum searches (:func:`_pack_rows`) instead of a
+per-instance retry loop, and the SRAM grid is laid out with whole-column
+index arithmetic.  The per-instance scalar packer survives as
+:func:`_shelf_pack` — the pinned reference the layout-kernel equivalence
+suite packs against.
+
 The result is a :class:`Placement` the router, DRC, LVS and GDS writer
-consume, plus per-net wire loads for post-layout STA/power.
+consume; its cell map is backed by the raw coordinate arrays and only
+materializes :class:`Rect` objects when something indexes into it, so
+the array-consuming kernels (DRC overlap sweep, routing reductions)
+never pay for a hundred thousand rectangle objects.
 """
 
 from __future__ import annotations
 
 import math
 import re
+from collections.abc import Mapping
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
 
 from ..errors import LayoutError
 from ..rtl.ir import Instance, Module
@@ -58,12 +72,72 @@ class SDPParams:
             raise LayoutError("aspect must be positive")
 
 
+class CellRects(Mapping):
+    """Lazy ``name -> Rect`` mapping backed by coordinate arrays.
+
+    Iteration and membership never build :class:`Rect` objects; the
+    full dict materializes on the first item access (GDS export, tests)
+    and is then served directly.  The DRC/routing kernels pull the raw
+    arrays through :meth:`coord_arrays`.
+    """
+
+    __slots__ = ("_names", "_coords", "_dict", "_members")
+
+    def __init__(self, names: List[str], coords: np.ndarray) -> None:
+        self._names = names
+        self._coords = coords
+        self._dict: Optional[Dict[str, Rect]] = None
+        self._members: Optional[Dict[str, None]] = None
+
+    def coord_arrays(self) -> Tuple[List[str], np.ndarray]:
+        return self._names, self._coords
+
+    def _materialize(self) -> Dict[str, Rect]:
+        if self._dict is None:
+            self._dict = {
+                name: Rect(*row)
+                for name, row in zip(self._names, self._coords.tolist())
+            }
+        return self._dict
+
+    def __getitem__(self, key: str) -> Rect:
+        return self._materialize()[key]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._names)
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __contains__(self, key: object) -> bool:
+        if self._dict is not None:
+            return key in self._dict
+        if self._members is None:
+            self._members = dict.fromkeys(self._names)
+        return key in self._members
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Mapping):
+            return dict(self.items()) == dict(other.items())
+        return NotImplemented
+
+    def __ne__(self, other: object) -> bool:
+        eq = self.__eq__(other)
+        return NotImplemented if eq is NotImplemented else not eq
+
+    def __repr__(self) -> str:
+        return f"CellRects({len(self._names)} cells)"
+
+    def __reduce__(self):
+        return (CellRects, (self._names, self._coords))
+
+
 @dataclass
 class Placement:
     """Placed design: per-instance rectangles and region map."""
 
     outline: Rect
-    cells: Dict[str, Rect]
+    cells: Mapping[str, Rect]
     regions: Dict[str, Rect]
     utilization: float
     fold: int
@@ -106,16 +180,23 @@ class _Partition:
 
 def _partition(module: Module) -> _Partition:
     part = _Partition()
+    # Cheap substring gates in front of the full regexes: on a
+    # hundred-thousand-cell macro almost every name hits exactly one
+    # category, and the gates cut the three-regex cascade per instance
+    # to (usually) a single match.
     for inst in module.instances:
-        m = _ARRAY_RE.search(inst.name)
-        if m:
-            part.array[(int(m.group(1)), int(m.group(2)))] = inst
-            continue
-        m = _COL_RE.search(inst.name)
-        if m:
-            part.columns.setdefault(int(m.group(1)), []).append(inst)
-            continue
-        if _WL_RE.search(inst.name):
+        name = inst.name
+        if "cell_r" in name:
+            m = _ARRAY_RE.search(name)
+            if m:
+                part.array[(int(m.group(1)), int(m.group(2)))] = inst
+                continue
+        if "col" in name:
+            m = _COL_RE.search(name)
+            if m:
+                part.columns.setdefault(int(m.group(1)), []).append(inst)
+                continue
+        if _WL_RE.search(name):
             part.wl_driver.append(inst)
             continue
         part.periphery.append(inst)
@@ -135,7 +216,12 @@ def _shelf_pack(
     placed: Dict[str, Rect],
 ) -> bool:
     """Left-to-right, bottom-to-top shelf packing.  Returns False when
-    the region overflows (caller grows the floorplan and retries)."""
+    the region overflows (caller grows the floorplan and retries).
+
+    Scalar **reference implementation** — the placer runs
+    :func:`_pack_rows` over precomputed width arrays instead; the
+    equivalence suite packs both and compares the shelves.
+    """
     x = region.x0
     y = region.y0
     for inst in instances:
@@ -153,6 +239,168 @@ def _shelf_pack(
     return True
 
 
+def _pack_rows(
+    widths: np.ndarray, region: Rect, row_height: float
+) -> Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """Vectorized shelf packing: greedy rows cut with prefix-sum
+    searches.  Returns ``(x0s, x1s, y0s)`` coordinate arrays in item
+    order, or ``None`` when the region overflows."""
+    n = len(widths)
+    if n == 0:
+        empty = np.empty(0, dtype=np.float64)
+        return empty, empty, empty
+    region_w = region.width
+    if float(widths.max()) > region_w + 1e-9:
+        return None
+    prefix = np.cumsum(widths)
+    limit = region_w + 1e-9
+
+    row_starts: List[int] = [0]
+    bases: List[float] = [0.0]
+    start = 0
+    base = 0.0
+    while True:
+        cut = int(np.searchsorted(prefix, base + limit, side="right"))
+        # A row always takes at least one item (max width fits, checked
+        # above); the guard absorbs last-bit rounding at the boundary.
+        cut = max(cut, start + 1)
+        if cut >= n:
+            break
+        row_starts.append(cut)
+        bases.append(float(prefix[cut - 1]))
+        start = cut
+        base = bases[-1]
+
+    n_rows = len(row_starts)
+    if region.y0 + n_rows * row_height > region.y1 + 1e-6:
+        return None
+    row_id = np.zeros(n, dtype=np.int64)
+    row_id[row_starts[1:]] = 1
+    row_id = np.cumsum(row_id)
+    base_arr = np.asarray(bases, dtype=np.float64)[row_id]
+    shifted = np.concatenate(([0.0], prefix[:-1]))
+    x0s = region.x0 + (shifted - base_arr)
+    x1s = region.x0 + (prefix - base_arr)
+    y0s = region.y0 + row_id * row_height
+    return x0s, x1s, y0s
+
+
+@dataclass
+class _PartitionArrays:
+    """Per-partition width/area arrays, resolved once per placement."""
+
+    part: _Partition
+    peri_names: List[str]
+    peri_widths: np.ndarray
+    peri_area: float
+    wl_names: List[str]
+    wl_widths: np.ndarray
+    wl_area: float
+    col_names: Dict[int, List[str]]
+    col_widths: Dict[int, np.ndarray]
+    col_areas: Dict[int, float]
+    array_names: Dict[int, List[str]]
+    array_rows: Dict[int, np.ndarray]
+    array_widths: Dict[int, np.ndarray]
+    array_area: float
+    n_rows: int
+    n_cols: int
+    sram_w: float
+    max_col_cell_w: float
+    total_cell_area: float
+
+
+def _precompute(
+    part: _Partition, library: StdCellLibrary, row_height: float
+) -> _PartitionArrays:
+    pack_w: Dict[str, float] = {}
+    nominal_w: Dict[str, float] = {}
+    raw_w: Dict[str, float] = {}
+    areas: Dict[str, float] = {}
+
+    def resolve(cell_name: str) -> None:
+        if cell_name not in pack_w:
+            cell = library.cell(cell_name)
+            pack_w[cell_name] = cell.width_um or cell.area_um2 / row_height
+            nominal_w[cell_name] = cell.width_um or 1.0
+            raw_w[cell_name] = cell.width_um
+            areas[cell_name] = cell.area_um2
+
+    def group(instances: List[Instance]) -> Tuple[List[str], np.ndarray, float]:
+        names = [i.name for i in instances]
+        refs = [i.ref for i in instances]  # leaf instances: ref is the cell name
+        for ref in refs:
+            if ref not in pack_w:
+                resolve(ref)
+        widths = np.fromiter(
+            map(pack_w.__getitem__, refs), dtype=np.float64, count=len(refs)
+        )
+        area = float(sum(map(areas.__getitem__, refs)))
+        return names, widths, area
+
+    peri_names, peri_widths, peri_area = group(part.periphery)
+    wl_names, wl_widths, wl_area = group(part.wl_driver)
+
+    col_names: Dict[int, List[str]] = {}
+    col_widths: Dict[int, np.ndarray] = {}
+    col_areas: Dict[int, float] = {}
+    max_col_cell_w = 0.0
+    for col, insts in part.columns.items():
+        names, widths, area = group(insts)
+        col_names[col] = names
+        col_widths[col] = widths
+        col_areas[col] = area
+        nominal = max(nominal_w[i.cell_name] for i in insts)
+        max_col_cell_w = max(max_col_cell_w, nominal)
+
+    sram_w = 0.0
+    array_area = 0.0
+    by_col: Dict[int, Tuple[List[str], List[int], List[str]]] = {}
+    for (r, c), inst in part.array.items():
+        ref = inst.ref  # leaf instances: ref is the cell name
+        resolve(ref)
+        sram_w = max(sram_w, raw_w[ref] or 0.55)
+        array_area += areas[ref]
+        names, rws, refs = by_col.setdefault(c, ([], [], []))
+        names.append(inst.name)
+        rws.append(r)
+        refs.append(ref)
+    array_names: Dict[int, List[str]] = {}
+    array_rows: Dict[int, np.ndarray] = {}
+    array_widths: Dict[int, np.ndarray] = {}
+    for c, (names, rws, refs) in by_col.items():
+        array_names[c] = names
+        array_rows[c] = np.asarray(rws, dtype=np.int64)
+        widths = np.asarray(
+            [min(raw_w[ref] or sram_w, sram_w) for ref in refs],
+            dtype=np.float64,
+        )
+        array_widths[c] = widths
+
+    total = array_area + sum(col_areas.values()) + wl_area + peri_area
+    return _PartitionArrays(
+        part=part,
+        peri_names=peri_names,
+        peri_widths=peri_widths,
+        peri_area=peri_area,
+        wl_names=wl_names,
+        wl_widths=wl_widths,
+        wl_area=wl_area,
+        col_names=col_names,
+        col_widths=col_widths,
+        col_areas=col_areas,
+        array_names=array_names,
+        array_rows=array_rows,
+        array_widths=array_widths,
+        array_area=array_area,
+        n_rows=1 + max(r for r, _ in part.array),
+        n_cols=1 + max(c for _, c in part.array),
+        sram_w=sram_w,
+        max_col_cell_w=max_col_cell_w,
+        total_cell_area=total,
+    )
+
+
 def place_macro(
     module: Module,
     library: StdCellLibrary,
@@ -161,62 +409,32 @@ def place_macro(
     """Run SDP placement on a flat physical macro module."""
     params = params or SDPParams()
     part = _partition(module)
+    data = _precompute(part, library, params.row_height_um)
 
-    n_rows = 1 + max(r for r, _ in part.array)
-    n_cols = 1 + max(c for _, c in part.array)
-    sram_cell = library.cell(next(iter(part.array.values())).cell_name)
-    sram_w = max(
-        library.cell(i.cell_name).width_um or 0.55 for i in part.array.values()
-    )
     sram_h = params.sram_row_height_um
-
-    def area_of(instances: List[Instance]) -> float:
-        return sum(library.cell(i.cell_name).area_um2 for i in instances)
-
-    array_area = sum(
-        library.cell(i.cell_name).area_um2 for i in part.array.values()
-    )
-    col_areas = {c: area_of(insts) for c, insts in part.columns.items()}
-    wl_area = area_of(part.wl_driver)
-    peri_area = area_of(part.periphery)
-    total_cell_area = array_area + sum(col_areas.values()) + wl_area + peri_area
-
-    # A column slot must fit the SRAM stack plus the widest logic cell.
-    max_col_cell_w = max(
-        library.cell(i.cell_name).width_um or 1.0
-        for insts in part.columns.values()
-        for i in insts
-    )
     row_h = params.row_height_um
-    worst_col_area = max(col_areas.values())
-    array_h = n_rows * sram_h + sram_h
+    worst_col_area = max(data.col_areas.values())
+    array_h = data.n_rows * sram_h + sram_h
 
     # Scan gap widths: narrow gaps give a tall skinny macro (column
     # logic binds), wide gaps a short fat one (array height binds).
     # Keep the minimum-area floorplan that places cleanly — this is the
     # area/aspect trade the SDP TCL script exposes as a variable.
     best: Optional[Placement] = None
-    gap_lo = max_col_cell_w + 0.2
+    gap_lo = data.max_col_cell_w + 0.2
     candidates = [gap_lo * f for f in (1.0, 1.25, 1.6, 2.0, 2.6, 3.4)]
     for gap_w in candidates:
-        pitch = sram_w + 0.1 + gap_w
+        pitch = data.sram_w + 0.1 + gap_w
         core_h = max(array_h, worst_col_area / (gap_w * 0.85))
-        width = n_cols * pitch + max(4.0, 0.02 * n_cols * pitch)
-        peri_h = peri_area / (width * 0.70) + 2 * row_h
+        width = data.n_cols * pitch + max(4.0, 0.02 * data.n_cols * pitch)
+        peri_h = data.peri_area / (width * 0.70) + 2 * row_h
         height = core_h + peri_h + 2 * row_h
+        if best is not None and width * height >= best.area_um2:
+            # Retries only grow the height, so this candidate can no
+            # longer beat the incumbent minimum-area floorplan.
+            continue
         for attempt in range(params.max_iterations):
-            placement = _try_place(
-                part,
-                library,
-                params,
-                width,
-                height,
-                n_rows,
-                n_cols,
-                sram_w,
-                sram_h,
-                total_cell_area,
-            )
+            placement = _try_place(data, params, width, height)
             if placement is not None:
                 break
             height *= 1.08
@@ -233,46 +451,33 @@ def place_macro(
 
 
 def _try_place(
-    part: _Partition,
-    library: StdCellLibrary,
+    data: _PartitionArrays,
     params: SDPParams,
     width: float,
     height: float,
-    n_rows: int,
-    n_cols: int,
-    sram_w: float,
-    sram_h: float,
-    total_cell_area: float,
 ) -> Optional[Placement]:
-    placed: Dict[str, Rect] = {}
     row_h = params.row_height_um
+    sram_h = params.sram_row_height_um
+    sram_w = data.sram_w
+    n_rows, n_cols = data.n_rows, data.n_cols
 
     # Bottom periphery strip (OFU, output regs, alignment, ties).
-    peri_area = sum(
-        library.cell(i.cell_name).area_um2 for i in part.periphery
-    )
     peri_h = max(
         row_h,
-        math.ceil(peri_area / max(width * 0.9, 1.0) / row_h) * row_h * 1.35,
+        math.ceil(data.peri_area / max(width * 0.9, 1.0) / row_h) * row_h * 1.35,
     )
     # Left WL-driver strip.
     core_h = height - peri_h
     if core_h <= 4 * row_h:
         return None
-    wl_area = sum(library.cell(i.cell_name).area_um2 for i in part.wl_driver)
-    wl_w = max(3.0, wl_area / max(core_h * 0.8, 1.0) * 1.3)
+    wl_w = max(3.0, data.wl_area / max(core_h * 0.8, 1.0) * 1.3)
 
     col_region_w = width - wl_w
     pitch = col_region_w / n_cols
 
     # Fold the SRAM stack so it fits the core height.
     fold = max(1, math.ceil(n_rows * sram_h / core_h))
-    max_col_cell_w = max(
-        library.cell(i.cell_name).width_um or 1.0
-        for insts in part.columns.values()
-        for i in insts
-    )
-    if fold * sram_w + 0.1 + max_col_cell_w > pitch:
+    if fold * sram_w + 0.1 + data.max_col_cell_w > pitch:
         return None
     stack_rows = math.ceil(n_rows / fold)
 
@@ -282,43 +487,56 @@ def _try_place(
         "columns": Rect(wl_w, peri_h, width, height),
     }
 
-    if not _shelf_pack(
-        part.periphery, library, regions["periphery"], row_h, placed
-    ):
+    names: List[str] = []
+    coord_parts: List[np.ndarray] = []
+
+    def pack(
+        group_names: List[str], widths: np.ndarray, region: Rect
+    ) -> bool:
+        packed = _pack_rows(widths, region, row_h)
+        if packed is None:
+            return False
+        x0s, x1s, y0s = packed
+        names.extend(group_names)
+        coord_parts.append(
+            np.column_stack((x0s, y0s, x1s, y0s + row_h))
+        )
+        return True
+
+    if not pack(data.peri_names, data.peri_widths, regions["periphery"]):
         return None
-    if not _shelf_pack(
-        part.wl_driver, library, regions["wl_driver"], row_h, placed
-    ):
+    if not pack(data.wl_names, data.wl_widths, regions["wl_driver"]):
         return None
 
-    array_by_col: Dict[int, List[Tuple[int, Instance]]] = {}
-    for (r, c), inst in part.array.items():
-        array_by_col.setdefault(c, []).append((r, inst))
-
-    for col, insts in sorted(part.columns.items()):
+    for col in sorted(data.col_widths):
         x0 = wl_w + col * pitch
-        sram_x = x0
         gap = Rect(x0 + fold * sram_w + 0.1, peri_h, x0 + pitch, height)
         # SRAM stacks (SDP grid: exact positions, no packing).
-        for r, inst in array_by_col.get(col, ()):
-            stack = r // stack_rows
-            row_in_stack = r % stack_rows
-            cx = sram_x + stack * sram_w
+        rows = data.array_rows.get(col)
+        if rows is not None and len(rows):
+            stack = rows // stack_rows
+            row_in_stack = rows % stack_rows
+            cx = x0 + stack * sram_w
             cy = peri_h + row_in_stack * sram_h
-            if cy + sram_h > height + 1e-6:
+            if float(cy.max()) + sram_h > height + 1e-6:
                 return None
-            cell = library.cell(inst.cell_name)
-            w = min(cell.width_um or sram_w, sram_w)
-            placed[inst.name] = Rect(cx, cy, cx + w, cy + sram_h)
-        if not _shelf_pack(insts, library, gap, row_h, placed):
+            w = data.array_widths[col]
+            names.extend(data.array_names[col])
+            coord_parts.append(np.column_stack((cx, cy, cx + w, cy + sram_h)))
+        if not pack(data.col_names[col], data.col_widths[col], gap):
             return None
 
+    coords = (
+        np.concatenate(coord_parts)
+        if coord_parts
+        else np.empty((0, 4), dtype=np.float64)
+    )
     outline = Rect(0.0, 0.0, width, height)
     return Placement(
         outline=outline,
-        cells=placed,
+        cells=CellRects(names, coords),
         regions=regions,
-        utilization=total_cell_area / outline.area,
+        utilization=data.total_cell_area / outline.area,
         fold=fold,
         column_pitch_um=pitch,
     )

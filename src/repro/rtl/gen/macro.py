@@ -326,16 +326,23 @@ def generate_macro_with_array(
     spec: MacroSpec,
     arch: MacroArchitecture,
     name: Optional[str] = None,
+    array: Optional[Module] = None,
 ) -> Tuple[Module, MacroShape]:
     """Physical view: digital macro + bitcell array + BL write path.
 
     The array's read nets drive the macro's weight ports; word lines and
     bit lines surface as macro ports for the weight-update interface.
+
+    ``array`` lets a caller supply a pre-built bitcell array module for
+    the same ``(height, width, mcr, memcell)`` — the incremental
+    escalation loop reuses one array (and its cached flatten template)
+    across implementation attempts, since timing fixes never touch it.
     """
     digital, shape = generate_macro(spec, arch)
-    array, _ = generate_memory_array(
-        spec.height, spec.width, spec.mcr, arch.memcell
-    )
+    if array is None:
+        array, _ = generate_memory_array(
+            spec.height, spec.width, spec.mcr, arch.memcell
+        )
     h, w, mcr = spec.height, spec.width, spec.mcr
     b = NetlistBuilder(name or f"dcim_macro_phys_{h}x{w}")
     # Mirror digital ports except wb, which becomes internal.

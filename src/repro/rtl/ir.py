@@ -253,19 +253,22 @@ class Module:
         self._expand_into(entries, "", {}, [])
         instances = flat.instances
         names = flat._instance_names
+        append = instances.append
         for iname, ref, conn in entries:
-            conn_d = dict(conn)
-            instances.append(Instance(name=iname, ref=ref, conn=conn_d))
+            # The expansion emits a fresh dict per entry, so the
+            # instance takes ownership without another copy.
+            append(Instance(name=iname, ref=ref, conn=conn))
             names[iname] = None
-            for net in conn_d.values():
-                if net not in nets:
-                    nets[net] = None
+            for net in conn.values():
+                # Unconditional store: cheaper than a membership probe,
+                # and re-assigning an existing key keeps its position.
+                nets[net] = None
         flat._revision += len(entries) + 1
         return flat
 
     def _leaf_template(self) -> List[tuple]:
         """Cached, module-relative table of every leaf under this module:
-        ``(relative_name, cell_ref, [(pin, relative_net), ...])``.
+        ``(relative_name, cell_ref, {pin: relative_net})``.
 
         Internal nets carry their hierarchical path; nets bound to this
         module's ports appear under the port name, so an instantiation
@@ -277,17 +280,21 @@ class Module:
         template-consumed children alike — so a mutation anywhere below
         rebuilds the table.
         """
-        cached = self._leaf_template_cache
-        if cached is not None and all(
-            m._revision == rev for m, rev in cached[1]
-        ):
-            return cached[0]
+        if self._template_fresh():
+            return self._leaf_template_cache[0]
         entries: List[tuple] = []
         deps: List[tuple] = []
         self._expand_into(entries, "", {}, deps)
         uniq = {id(m): (m, rev) for m, rev in deps}
         self._leaf_template_cache = (entries, list(uniq.values()))
         return entries
+
+    def _template_fresh(self) -> bool:
+        """Whether the cached leaf template matches the current subtree."""
+        cached = self._leaf_template_cache
+        return cached is not None and all(
+            m._revision == rev for m, rev in cached[1]
+        )
 
     def _expand_into(
         self,
@@ -316,12 +323,12 @@ class Module:
         for inst in self.instances:
             iname = prefix + inst.name
             if inst.is_leaf:
-                items = []
+                items: Dict[str, str] = {}
                 for pin, net in inst.conn.items():
                     r = get(net)
                     if r is None:
                         r = net_map[net] = (prefix + net) if prefix else net
-                    items.append((pin, r))
+                    items[pin] = r
                 out.append((iname, inst.ref, items))
                 continue
             child = inst.module
@@ -337,17 +344,22 @@ class Module:
                         )
                     cmap[pname] = r
             cprefix = iname + "/"
-            if counts[id(child)] > 1:
+            # Children instantiated repeatedly expand through their
+            # cached leaf template; so does any child whose template is
+            # already cached and fresh (e.g. a bitcell array shared by
+            # successive escalation attempts) — the replay skips its
+            # whole-subtree re-walk.
+            if counts[id(child)] > 1 or child._template_fresh():
                 tmpl = child._leaf_template()
                 deps.extend(child._leaf_template_cache[1])
                 cget = cmap.get
                 for rname, ref, rconn in tmpl:
-                    resolved = []
-                    for pin, net in rconn:
+                    resolved: Dict[str, str] = {}
+                    for pin, net in rconn.items():
                         r = cget(net)
                         if r is None:
                             r = cmap[net] = cprefix + net
-                        resolved.append((pin, r))
+                        resolved[pin] = r
                     out.append((cprefix + rname, ref, resolved))
             else:
                 child._expand_into(out, cprefix, cmap, deps)
@@ -361,37 +373,11 @@ class Module:
         slow :meth:`net_drivers` walk is only replayed to produce its
         detailed message when a multi-driver violation is detected.
         """
-        import numpy as np
-
-        from .netview import net_view
+        from .netview import check_pins, check_single_driver, net_view
 
         view = net_view(self, library)
-        all_out = [g.out_ids.ravel() for g in view.groups if g.out_ids.size]
-        if all_out:
-            ids = np.concatenate(all_out)
-            ids = ids[ids >= 0]
-            driver_counts = np.bincount(ids, minlength=view.n_nets)
-        else:
-            driver_counts = np.zeros(view.n_nets, dtype=np.int64)
-        if (driver_counts > 1).any():
-            self.net_drivers(library)  # raises with the offending pair
-            raise SynthesisError(  # pragma: no cover - defensive
-                f"{self.name}: multiply driven nets"
-            )
-        valid_pins_by_ref: Dict[str, frozenset] = {}
-        for group in view.groups:
-            cell = group.cell
-            valid_pins_by_ref[cell.name] = frozenset(
-                cell.input_caps_ff
-            ) | frozenset(cell.outputs)
-        for inst in self.instances:
-            valid_pins = valid_pins_by_ref[inst.ref]
-            if not valid_pins.issuperset(inst.conn):
-                bad = next(p for p in inst.conn if p not in valid_pins)
-                raise SynthesisError(
-                    f"{self.name}: {inst.name} has no pin {bad!r} "
-                    f"on {inst.ref}"
-                )
+        driver_counts = check_single_driver(view)
+        check_pins(view)
         undriven = [
             p
             for p in self.output_ports

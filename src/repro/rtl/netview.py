@@ -28,6 +28,7 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
+from ..errors import SynthesisError
 from ..tech.stdcells import Cell, StdCellLibrary
 
 
@@ -163,6 +164,53 @@ class NetView:
     @property
     def n_instances(self) -> int:
         return len(self.cells)
+
+
+def view_driver_counts(view: NetView) -> np.ndarray:
+    """Per-net driver count over the view's stacked output tables."""
+    all_out = [g.out_ids.ravel() for g in view.groups if g.out_ids.size]
+    if all_out:
+        ids = np.concatenate(all_out)
+        ids = ids[ids >= 0]
+        return np.bincount(ids, minlength=view.n_nets)
+    return np.zeros(view.n_nets, dtype=np.int64)
+
+
+def check_single_driver(view: NetView) -> np.ndarray:
+    """Raise on multiply-driven nets; returns the per-net driver counts.
+
+    Shared by :meth:`Module.validate` and the synthesis-pass index — a
+    multiply-driven net would otherwise be silently resolved to one
+    driver by any table keyed on nets.  The slow
+    :meth:`Module.net_drivers` walk is only replayed to produce its
+    detailed message when a violation is detected.
+    """
+    counts = view_driver_counts(view)
+    if (counts > 1).any():
+        view.module.net_drivers(view.library)  # raises with the pair
+        raise SynthesisError(  # pragma: no cover - defensive
+            f"{view.module.name}: multiply driven nets"
+        )
+    return counts
+
+
+def check_pins(view: NetView) -> None:
+    """Raise when any instance connects a pin its cell does not have."""
+    valid_by_ref: Dict[str, frozenset] = {}
+    for group in view.groups:
+        cell = group.cell
+        valid_by_ref[cell.name] = frozenset(cell.input_caps_ff) | frozenset(
+            cell.outputs
+        )
+    module = view.module
+    for inst in module.instances:
+        valid_pins = valid_by_ref[inst.ref]
+        if not valid_pins.issuperset(inst.conn):
+            bad = next(p for p in inst.conn if p not in valid_pins)
+            raise SynthesisError(
+                f"{module.name}: {inst.name} has no pin {bad!r} "
+                f"on {inst.ref}"
+            )
 
 
 def net_view(module, library: StdCellLibrary) -> NetView:

@@ -329,17 +329,28 @@ def _timing_arrays(view: NetView) -> _TimingArrays:
     return arrays
 
 
-def _analyze_view(
+def _propagate_view(
     view: NetView,
-    clock_period_ns: float,
-    derate: float = 1.0,
-    wire_load: Optional[WireLoadFn] = None,
-) -> TimingReport:
-    """Vectorized arrival propagation + slack extraction over a view."""
-    if clock_period_ns <= 0.0:
-        raise TimingError("clock period must be positive")
-    if derate <= 0.0:
-        raise TimingError("derate must be positive")
+    derate: float,
+    wire_load: Optional[WireLoadFn],
+) -> Tuple[List[float], List[int]]:
+    """Arrival propagation over a view: ``(arrivals, parent)``.
+
+    Arrivals are independent of the clock period, so the pass is cached
+    on the view for the latest ``(wire_load, derate)`` pair — ``analyze``
+    and ``minimum_period_ns`` on the same placed design (the signoff
+    pair the implementation flow always runs) propagate once.  The
+    cache holds a single entry, so callers cycling through fresh
+    wire-load closures replace rather than accumulate state.
+    """
+    cached = view.derived.get("sta_prop")
+    if (
+        cached is not None
+        and cached[2] is wire_load
+        and cached[3] == derate
+    ):
+        return cached[0], cached[1]
+
     ta = _timing_arrays(view)
     n = ta.n_nets
     load = net_loads_vector(view, wire_load)
@@ -378,6 +389,24 @@ def _analyze_view(
                 arrivals[t] = cand
                 slews[t] = eslew_l[ei]
                 parent[t] = ei
+
+    view.derived["sta_prop"] = (arrivals, parent, wire_load, derate)
+    return arrivals, parent
+
+
+def _analyze_view(
+    view: NetView,
+    clock_period_ns: float,
+    derate: float = 1.0,
+    wire_load: Optional[WireLoadFn] = None,
+) -> TimingReport:
+    """Vectorized arrival propagation + slack extraction over a view."""
+    if clock_period_ns <= 0.0:
+        raise TimingError("clock period must be positive")
+    if derate <= 0.0:
+        raise TimingError("derate must be positive")
+    ta = _timing_arrays(view)
+    arrivals, parent = _propagate_view(view, derate, wire_load)
 
     if not ta.endpoints:
         raise TimingError("design has no timing endpoints")

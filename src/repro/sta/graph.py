@@ -85,12 +85,21 @@ def net_loads_vector(
     sink_cap, sink_count = cached
     if wire_load is None:
         return sink_cap + DEFAULT_WLM_FF_PER_SINK * sink_count
-    wire = np.fromiter(
-        (wire_load(name) for name in view.net_names),
-        dtype=np.float64,
-        count=view.n_nets,
-    )
-    return sink_cap + wire
+    # One custom wire-load function is typically applied several times
+    # per view (min-period, clocked STA and power of the signoff pass),
+    # so its per-net evaluation is cached too.  The cache holds a
+    # single entry — the latest function — keyed by identity, so a
+    # caller cycling through fresh closures replaces rather than
+    # accumulates entries.
+    entry = view.derived.get("wire_vec")
+    if entry is None or entry[1] is not wire_load:
+        wire = np.fromiter(
+            (wire_load(name) for name in view.net_names),
+            dtype=np.float64,
+            count=view.n_nets,
+        )
+        entry = view.derived["wire_vec"] = (wire, wire_load)
+    return sink_cap + entry[0]
 
 
 def net_capacitance(
