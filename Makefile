@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench perf perf-smoke lint install
+.PHONY: test bench perf perf-check perf-smoke lint install
 
 test:  ## tier-1 suite: unit tests + benchmark reproductions
 	$(PYTHON) -m pytest -x -q
@@ -15,6 +15,9 @@ bench:  ## benchmark suite only, with timing columns
 
 perf:  ## hot-path perf suite; appends to benchmarks/results/BENCH_perf.json
 	$(PYTHON) benchmarks/perf/run_perf.py
+
+perf-check:  ## CI gate: latest perf entry vs checked-in baseline (>2x fails)
+	$(PYTHON) benchmarks/perf/check_regression.py
 
 perf-smoke:  ## CI guard: warm SCL load + single search under ceilings
 	$(PYTHON) -m pytest benchmarks/perf -q

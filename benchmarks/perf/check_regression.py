@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""CI perf-regression gate: latest ``make perf`` run vs the baseline.
+
+Compares the newest entry of ``benchmarks/results/BENCH_perf.json``
+against the checked-in ``benchmarks/perf/baseline.json`` and fails
+(exit 1) when a guarded timing regressed past its tolerance.  The
+tolerances are deliberately generous — CI runners are slow, shared and
+noisy; the gate exists to catch a *return to seconds-per-call* (an
+accidentally disabled cache, a de-vectorized kernel), not 20 % jitter.
+
+Guarded metrics (each ``(name, multiplier)``: fail when
+``measured > baseline * multiplier``):
+
+* ``scl_warm_load_s``     — the persistent SCL cache still loads fast;
+* ``search_s``            — a single MSO search stays interactive;
+* ``implement_s``         — the full implement flow stays interactive;
+* ``signoff3_s``          — 3-corner signoff rides the shared caches.
+
+Absolute invariants (not ratios — these hold on any machine):
+
+* ``signoff_corner_ratio`` <= 2.0 — a warm 3-corner run costs less
+  than twice a single-corner run (the multi-corner subsystem's
+  acceptance contract);
+* ``signoff_ss_clean`` — the quickstart macro signs off at SS.
+
+Run after ``make perf``::
+
+    python benchmarks/perf/check_regression.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+HERE = pathlib.Path(__file__).resolve().parent
+DEFAULT_RESULTS = HERE.parent / "results" / "BENCH_perf.json"
+DEFAULT_BASELINE = HERE / "baseline.json"
+
+#: (metric, allowed multiplier over baseline).  2x across the board:
+#: generous enough for loaded CI runners, tight enough that losing a
+#: cache or a vectorized kernel (5-100x slowdowns) always trips it.
+GUARDED = (
+    ("scl_warm_load_s", 2.0),
+    ("search_s", 2.0),
+    ("implement_s", 2.0),
+    ("signoff3_s", 2.0),
+)
+
+#: Machine-independent invariants: (metric, max allowed value).
+RATIO_CEILINGS = (("signoff_corner_ratio", 2.0),)
+
+#: Boolean metrics that must be true.
+REQUIRED_TRUE = ("implement_signoff_clean", "signoff_ss_clean")
+
+
+def latest_metrics(results_path: pathlib.Path) -> dict:
+    history = json.loads(results_path.read_text())
+    if not isinstance(history, list) or not history:
+        raise SystemExit(f"error: {results_path} holds no perf entries")
+    return history[-1]["metrics"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--results", default=str(DEFAULT_RESULTS))
+    parser.add_argument("--baseline", default=str(DEFAULT_BASELINE))
+    args = parser.parse_args(argv)
+
+    metrics = latest_metrics(pathlib.Path(args.results))
+    baseline = json.loads(pathlib.Path(args.baseline).read_text())["metrics"]
+
+    failures = []
+    lines = []
+    for name, mult in GUARDED:
+        base = baseline.get(name)
+        got = metrics.get(name)
+        if base is None or got is None:
+            failures.append(f"{name}: missing (baseline={base}, run={got})")
+            continue
+        limit = base * mult
+        verdict = "ok" if got <= limit else "REGRESSED"
+        lines.append(
+            f"{name:<22} {got:>9.4f}s  baseline {base:.4f}s "
+            f"(limit {limit:.4f}s) {verdict}"
+        )
+        if got > limit:
+            failures.append(
+                f"{name}: {got:.4f}s > {mult:.1f}x baseline {base:.4f}s"
+            )
+    for name, ceiling in RATIO_CEILINGS:
+        got = metrics.get(name)
+        if got is None:
+            failures.append(f"{name}: missing from run")
+            continue
+        verdict = "ok" if got <= ceiling else "REGRESSED"
+        lines.append(f"{name:<22} {got:>9.4f}   ceiling {ceiling} {verdict}")
+        if got > ceiling:
+            failures.append(f"{name}: {got:.4f} > ceiling {ceiling}")
+    for name in REQUIRED_TRUE:
+        got = metrics.get(name)
+        verdict = "ok" if got else "FAILED"
+        lines.append(f"{name:<22} {got!s:>9}   {verdict}")
+        if not got:
+            failures.append(f"{name}: expected true, got {got!r}")
+
+    print("\n".join(lines))
+    if failures:
+        print("\nperf regression gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nperf regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

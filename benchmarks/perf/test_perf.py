@@ -26,6 +26,10 @@ import run_perf
 WARM_LOAD_CEILING_S = 2.0
 SEARCH_CEILING_S = 2.0
 IMPLEMENT_CEILING_S = 3.0
+#: Multi-corner contract: a warm 3-corner signoff run costs less than
+#: twice a single-corner run (measured ~1.15x; the per-view STA/power
+#: caches are what hold this — losing them costs ~3x).
+SIGNOFF_RATIO_CEILING = 2.0
 
 
 def test_warm_scl_load_smoke(tmp_path: pathlib.Path):
@@ -83,4 +87,65 @@ def test_full_implement_smoke(scl):
     assert impl.drc.clean and impl.lvs.clean and impl.timing.met
     assert elapsed < IMPLEMENT_CEILING_S, (
         f"full implement took {elapsed:.3f}s (ceiling {IMPLEMENT_CEILING_S}s)"
+    )
+
+
+def test_multi_corner_signoff_smoke(scl):
+    """The acceptance contract of the multi-corner subsystem on the
+    quickstart spec: the SS/TT/FF compile reports per-corner fmax and
+    power, signs off clean at the worst (SS) corner, and a warm-cache
+    3-corner run costs less than twice the single-corner run — the
+    per-view cache sharing is what keeps the extra corners cheap."""
+    from repro.compiler.syndcim import SynDCIM
+    from repro.signoff import SIGNOFF3
+
+    spec = run_perf._quickstart_spec()
+    # Warm everything both measurements share: interpolation caches,
+    # the corner-characterized SCL (disk-cached after the first ever
+    # run on a machine) and the result structures.
+    SynDCIM(scl=scl).compile(spec)
+    SynDCIM(scl=scl, corners=SIGNOFF3).compile(spec)
+
+    # Best-of-2 per side: a single sample flakes on shared CI runners
+    # (one GC pause or contention spike inverts the ratio); the min is
+    # robust to one-sided spikes without the cost of full medians.
+    single_samples, triple_samples = [], []
+    single = triple = None
+    for _ in range(2):
+        gc.collect()
+        t0 = time.perf_counter()
+        single = SynDCIM(scl=scl).compile(spec)
+        single_samples.append(time.perf_counter() - t0)
+        gc.collect()
+        t0 = time.perf_counter()
+        triple = SynDCIM(scl=scl, corners=SIGNOFF3).compile(spec)
+        triple_samples.append(time.perf_counter() - t0)
+    single_s = min(single_samples)
+    triple_s = min(triple_samples)
+
+    impl = triple.implementation
+    assert impl is not None and impl.signoff is not None
+    report = impl.signoff
+    assert {r.corner.name for r in report.results} == {"SS", "TT", "FF"}
+    for result in report.results:
+        assert result.fmax_mhz > 0.0
+        assert result.power.total_mw > 0.0
+    # SS is the setup-critical corner and must still meet the clock.
+    assert report.worst.corner.name == "SS"
+    assert report.corner("SS").met, (
+        f"SS corner violated: {report.describe()}"
+    )
+    assert impl.signoff_clean
+    # fmax ordering follows the composed derates: SS < TT < FF.
+    assert (
+        report.corner("SS").fmax_mhz
+        < report.corner("TT").fmax_mhz
+        < report.corner("FF").fmax_mhz
+    )
+    assert single.implementation is not None
+    ratio = triple_s / single_s
+    assert ratio < SIGNOFF_RATIO_CEILING, (
+        f"3-corner signoff cost {ratio:.2f}x a single-corner run "
+        f"({triple_s:.3f}s vs {single_s:.3f}s; "
+        f"ceiling {SIGNOFF_RATIO_CEILING}x)"
     )

@@ -43,7 +43,7 @@ setup(
         "numpy",
     ],
     extras_require={
-        "dev": ["pytest", "pytest-benchmark", "ruff"],
+        "dev": ["pytest", "pytest-benchmark", "pytest-cov", "ruff"],
     },
     entry_points={
         "console_scripts": [

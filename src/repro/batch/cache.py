@@ -30,7 +30,9 @@ from typing import Dict, Optional
 
 #: Bump when the record schema changes incompatibly; old entries are
 #: simply never looked up again (they live under the old version dir).
-CACHE_SCHEMA_VERSION = 1
+#: v2: records carry per-corner signoff metrics (``implementation.
+#: signoff``) and jobs key the corner-name tuple.
+CACHE_SCHEMA_VERSION = 2
 
 
 def _unlink_quietly(path: str) -> None:

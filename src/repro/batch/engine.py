@@ -119,6 +119,10 @@ class BatchCompiler:
     seed:
         Search-order seed forwarded to every compile job (part of the
         cache key).
+    corners:
+        Signoff-corner names forwarded to every job (part of the cache
+        key); each worker then evaluates its design at every corner, so
+        a corner sweep fans out over the same pool as the spec grid.
     progress:
         Optional callback invoked after each job resolves.
     """
@@ -130,6 +134,7 @@ class BatchCompiler:
         use_cache: bool = True,
         seed: Optional[int] = None,
         progress: Optional[ProgressFn] = None,
+        corners: Optional[Sequence[str]] = None,
     ) -> None:
         self.jobs = max(1, jobs if jobs is not None else (os.cpu_count() or 1))
         if use_cache:
@@ -139,6 +144,7 @@ class BatchCompiler:
         else:
             self.cache = None
         self.seed = seed
+        self.corners = None if corners is None else tuple(corners)
         self.progress = progress
 
     # -- job construction ---------------------------------------------------
@@ -159,6 +165,7 @@ class BatchCompiler:
                     input_sparsity=input_sparsity,
                     weight_sparsity=weight_sparsity,
                     seed=self.seed,
+                    corners=self.corners,
                 )
                 for spec in specs
             ]
@@ -180,6 +187,7 @@ class BatchCompiler:
                     arch=arch,
                     input_sparsity=input_sparsity,
                     weight_sparsity=weight_sparsity,
+                    corners=self.corners,
                 )
                 for arch in archs
             ]
@@ -235,6 +243,7 @@ class BatchCompiler:
         if pending:
             if self.jobs > 1 and len(pending) > 1:
                 self._prewarm()
+                self._prewarm_corners(pending.values())
                 # A broken pool (a worker OOM-killed or segfaulted)
                 # must not poison the jobs that never ran: retry the
                 # unfinished remainder in a fresh pool once, and only
@@ -366,6 +375,25 @@ class BatchCompiler:
         from ..scl.library import default_scl
 
         default_scl()
+
+    def _prewarm_corners(self, jobs: Iterable[Job]) -> None:
+        """Corner jobs also need the worst-corner SCL: resolve it once
+        per job process in the parent (building + persisting on the
+        first ever run) so every worker loads the corner artifact from
+        disk.  Shares the compiler's resolution
+        (:func:`repro.signoff.corners.worst_corner_scl`), so the
+        prewarmed artifact is exactly the one workers will ask for."""
+        if not self.corners:
+            return
+        try:
+            from ..signoff.corners import CornerSet, worst_corner_scl
+            from ..tech.process import process_by_name
+
+            corner_set = CornerSet.from_names(self.corners, name="prewarm")
+            for name in {job.process_name for job in jobs}:
+                worst_corner_scl(process_by_name(name), corner_set)
+        except Exception:  # pragma: no cover - best-effort warmup
+            pass
 
 
 def _worker_initializer() -> None:

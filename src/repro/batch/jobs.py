@@ -18,7 +18,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from ..arch import MacroArchitecture
 from ..spec import MacroSpec
@@ -36,6 +36,9 @@ class CompileJob:
     weight_sparsity: float = 0.0
     seed: Optional[int] = None
     process_name: str = GENERIC_40NM.name
+    #: Signoff-corner *names* (resolved by the worker against the
+    #: registered corners, like the process name); ``None`` = nominal.
+    corners: Optional[Tuple[str, ...]] = None
 
     def payload(self) -> Dict[str, object]:
         return {
@@ -47,6 +50,9 @@ class CompileJob:
                 "input_sparsity": self.input_sparsity,
                 "weight_sparsity": self.weight_sparsity,
                 "seed": self.seed,
+                "corners": (
+                    None if self.corners is None else list(self.corners)
+                ),
             },
         }
 
@@ -63,6 +69,7 @@ class ImplementJob:
     input_sparsity: float = 0.0
     weight_sparsity: float = 0.0
     process_name: str = GENERIC_40NM.name
+    corners: Optional[Tuple[str, ...]] = None
 
     def payload(self) -> Dict[str, object]:
         return {
@@ -73,6 +80,9 @@ class ImplementJob:
             "options": {
                 "input_sparsity": self.input_sparsity,
                 "weight_sparsity": self.weight_sparsity,
+                "corners": (
+                    None if self.corners is None else list(self.corners)
+                ),
             },
         }
 

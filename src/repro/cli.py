@@ -5,7 +5,8 @@ Commands
 ``search``   run only the multi-spec-oriented search and print the
              Pareto frontier;
 ``compile``  full performance-to-layout compilation with optional
-             Verilog/GDS export;
+             Verilog/GDS export and (``--corners``) multi-corner PVT
+             signoff;
 ``shmoo``    compile and sweep the voltage/frequency grid (Fig. 9
              style);
 ``sweep``    expand a range grammar over the spec axes into a design
@@ -16,6 +17,7 @@ Examples::
 
     python -m repro compile --height 64 --width 64 --mcr 2 \\
         --formats INT4 INT8 FP8 --frequency 800 --verilog macro.v
+    python -m repro compile --corners SS,TT,FF   # 3-corner signoff
     python -m repro sweep --height 32:128:x2 --frequency 400 800 -j 4
 """
 
@@ -90,6 +92,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_compile = sub.add_parser("compile", help="full spec-to-layout run")
     _add_spec_args(p_compile)
+    _add_corners_arg(p_compile)
     p_compile.add_argument("--verilog", help="write the netlist here")
     p_compile.add_argument("--gds", help="write the layout stream here")
     p_compile.add_argument(
@@ -150,9 +153,30 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_corners_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--corners",
+        help="signoff corners: a comma-separated list of corner names "
+        "(SS,TT,FF) or a preset (typical, signoff3); timing signs off "
+        "at the worst corner",
+    )
+
+
+def _parse_corners_arg(args: argparse.Namespace):
+    """Resolve ``--corners`` (or return None).  Unknown corner names
+    and empty sets raise the usual SynDCIMError -> exit code 1."""
+    text = getattr(args, "corners", None)
+    if text is None:
+        return None
+    from .signoff.corners import parse_corners
+
+    return parse_corners(text)
+
+
 def _add_batch_exec_args(
     parser: argparse.ArgumentParser, default_output: str
 ) -> None:
+    _add_corners_arg(parser)
     parser.add_argument(
         "-j", "--jobs", type=int, default=None,
         help="worker processes (default: CPU count)",
@@ -209,7 +233,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _run_batch_file(args)
 
     spec = _spec_from_args(args)
-    compiler = SynDCIM()
+    compiler = SynDCIM(corners=_parse_corners_arg(args))
 
     if args.command == "search":
         result = compiler.search(spec)
@@ -372,12 +396,14 @@ def _execute_batch(specs: List[MacroSpec], args: argparse.Namespace) -> int:
         emit(record)
         streamed.add(record.get("job_key"))
 
+    corner_set = _parse_corners_arg(args)
     engine = BatchCompiler(
         jobs=args.jobs,
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
         seed=args.seed,
         progress=progress,
+        corners=None if corner_set is None else corner_set.names,
     )
     try:
         result = engine.compile_specs(

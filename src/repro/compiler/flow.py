@@ -35,6 +35,8 @@ from ..power.estimator import PowerReport, estimate_power, sparsity_input_stats
 from ..rtl.gen.macro import MacroShape, generate_macro_with_array, macro_shape
 from ..rtl.ir import Module
 from ..rtl.verilog import emit_verilog
+from ..signoff.corners import CornerSet
+from ..signoff.evaluate import SignoffReport, multi_corner_signoff
 from ..spec import MacroSpec
 from ..sta.analysis import TimingReport, analyze, minimum_period_ns
 from ..tech.process import GENERIC_40NM, Process
@@ -56,10 +58,27 @@ class Implementation:
     timing: TimingReport
     power: PowerReport
     min_period_ns: float
+    #: Multi-corner PVT signoff, present when the flow ran with a
+    #: corner set; ``timing``/``power`` stay the nominal-point views.
+    signoff: Optional[SignoffReport] = None
+
+    @property
+    def timing_met_signoff(self) -> bool:
+        """Timing met at the worst corner — nominal when no corner set
+        was evaluated (single-point signoff, the historical meaning)."""
+        if self.signoff is not None:
+            return self.signoff.clean
+        return self.timing.met
 
     @property
     def signoff_clean(self) -> bool:
-        return self.drc.clean and self.lvs.clean and self.timing.met
+        """DRC/LVS clean and timing met at the *worst* evaluated
+        corner (nominal-only runs keep their historical meaning)."""
+        return self.drc.clean and self.lvs.clean and self.timing_met_signoff
+
+    @property
+    def worst_corner(self) -> Optional[str]:
+        return None if self.signoff is None else self.signoff.worst.corner.name
 
     @property
     def area_um2(self) -> float:
@@ -113,6 +132,9 @@ class Implementation:
             f"LVS {'clean' if self.lvs.clean else 'FAIL'}, "
             f"timing {'MET' if self.timing.met else 'VIOLATED'}",
         ]
+        if self.signoff is not None:
+            lines.append("")
+            lines.append(self.signoff.describe())
         return "\n".join(lines)
 
 
@@ -142,6 +164,11 @@ class ImplementSession:
     sdp_params: Optional[SDPParams] = None
     input_sparsity: float = 0.0
     weight_sparsity: float = 0.0
+    #: Operating corners for multi-corner signoff; ``None`` keeps the
+    #: historical nominal-only evaluation.  The corner passes share the
+    #: compiled NetView, STA arrays and the nominal power analysis, so
+    #: each extra corner costs one derated arrival propagation.
+    corners: Optional[CornerSet] = None
     #: Pause cyclic GC for the duration of each implement() call (a
     #: bounded ~0.5 s operation whose allocation burst otherwise costs
     #: ~25 % of the runtime in generation-2 scans).  Embedders running
@@ -247,6 +274,18 @@ class ImplementSession:
             input_stats=stats,
             wire_load=wire_load,
         )
+        signoff = None
+        if self.corners is not None:
+            signoff = multi_corner_signoff(
+                flat,
+                library,
+                process,
+                self.corners,
+                clock_period_ns=spec.mac_period_ns,
+                wire_load=wire_load,
+                nominal_power=power,
+                nominal_timing=timing,
+            )
         impl = Implementation(
             spec=spec,
             arch=arch,
@@ -259,6 +298,7 @@ class ImplementSession:
             timing=timing,
             power=power,
             min_period_ns=min_period,
+            signoff=signoff,
         )
         if impl.timing.met:
             # Failed attempts are essentially never revisited (the fix
@@ -278,6 +318,7 @@ def implement(
     sdp_params: Optional[SDPParams] = None,
     input_sparsity: float = 0.0,
     weight_sparsity: float = 0.0,
+    corners: Optional[CornerSet] = None,
 ) -> Implementation:
     """Run the complete implementation flow for one design point."""
     session = ImplementSession(
@@ -287,5 +328,6 @@ def implement(
         sdp_params=sdp_params,
         input_sparsity=input_sparsity,
         weight_sparsity=weight_sparsity,
+        corners=corners,
     )
     return session.implement(arch)

@@ -26,6 +26,7 @@ from ..errors import SearchError
 from ..scl.library import SubcircuitLibrary, cached_default_scl, default_scl
 from ..search.algorithm import MSOSearcher, SearchResult
 from ..search.estimate import MacroEstimate
+from ..signoff.corners import CornerSet
 from ..spec import MacroSpec, PPAWeights
 from ..tech.process import GENERIC_40NM, Process
 from ..tech.stdcells import StdCellLibrary, default_library
@@ -68,6 +69,13 @@ class SynDCIM:
         the default 40 nm-class process (built lazily, cached).
     library / process:
         Cell library and process used by the implementation flow.
+    corners:
+        Operating corners for multi-corner PVT signoff (see
+        :mod:`repro.signoff`).  When set, the searcher optimizes at TT
+        but ranks and escalates on the worst corner's slack (priced
+        from a corner-characterized SCL), the implementation flow
+        evaluates every corner, and ``signoff_clean`` means clean at
+        the worst corner.  ``None`` keeps the nominal-only behaviour.
     """
 
     def __init__(
@@ -76,11 +84,14 @@ class SynDCIM:
         library: Optional[StdCellLibrary] = None,
         process: Optional[Process] = None,
         seed: Optional[int] = None,
+        corners: Optional[CornerSet] = None,
     ) -> None:
         self._scl = scl
         self.library = library or default_library()
         self.process = process or GENERIC_40NM
         self.seed = seed
+        self.corners = corners
+        self._signoff_scl: Optional[SubcircuitLibrary] = None
 
     @property
     def scl(self) -> SubcircuitLibrary:
@@ -88,9 +99,24 @@ class SynDCIM:
             self._scl = default_scl(self.process)
         return self._scl
 
+    @property
+    def signoff_scl(self) -> Optional[SubcircuitLibrary]:
+        """Corner-characterized SCL for the worst timing corner, or
+        ``None`` when no corners are configured / the worst corner is
+        the nominal point itself (then TT pricing already covers it)."""
+        if self.corners is None:
+            return None
+        if self._signoff_scl is None:
+            from ..signoff.corners import worst_corner_scl
+
+            self._signoff_scl = worst_corner_scl(self.process, self.corners)
+        return self._signoff_scl
+
     def search(self, spec: MacroSpec) -> SearchResult:
         """Run only the multi-spec-oriented search."""
-        return MSOSearcher(self.scl, seed=self.seed).search(spec)
+        return MSOSearcher(
+            self.scl, seed=self.seed, signoff_scl=self.signoff_scl
+        ).search(spec)
 
     def compile(
         self,
@@ -161,11 +187,18 @@ class SynDCIM:
             process=self.process,
             input_sparsity=input_sparsity,
             weight_sparsity=weight_sparsity,
+            corners=self.corners,
         )
         impl = session.implement(arch)
         attempts = 1
-        while not impl.timing.met and attempts < max_attempts:
-            endpoint = impl.timing.endpoint
+        while not impl.timing_met_signoff and attempts < max_attempts:
+            # With corners configured, escalation is driven by the
+            # *worst corner's* critical endpoint — the path the SS
+            # derate pushed over the clock — not the nominal one.
+            if impl.signoff is not None:
+                endpoint = impl.signoff.worst.timing.endpoint
+            else:
+                endpoint = impl.timing.endpoint
             ofu_limited = "ofu" in endpoint or "fused" in endpoint or "outreg" in endpoint
             fixes = OFU_FIXES if ofu_limited else MAC_FIXES
             next_arch = None
@@ -210,6 +243,7 @@ class SynDCIM:
             weight_sparsity=weight_sparsity,
             seed=self.seed,
             process_name=self.process.name,
+            corners=None if self.corners is None else self.corners.names,
         )
         cache = cache or ResultCache()
         # The job key covers the spec, options and process name — not a
@@ -285,6 +319,9 @@ def implementation_record(impl: Implementation) -> Dict[str, object]:
             "lvs_clean": impl.lvs.clean,
             "timing_met": impl.timing.met,
             "signoff_clean": impl.signoff_clean,
+            "signoff": (
+                None if impl.signoff is None else impl.signoff.to_dict()
+            ),
         }
     )
     return record
@@ -298,6 +335,8 @@ def result_to_record(result: CompileResult) -> Dict[str, object]:
             "n_candidates": len(result.search.candidates),
             "frontier": [estimate_record(e) for e in result.frontier],
             "fix_counts": dict(result.search.fix_counts),
+            "signoff_corner": result.search.signoff_corner,
+            "signoff_slacks": dict(result.search.signoff_slacks),
         },
         selected=estimate_record(result.selected),
         implementation=(
@@ -388,7 +427,19 @@ def execute_job(payload: Dict[str, object]) -> Dict[str, object]:
         process = process_by_name(
             str(payload.get("process", GENERIC_40NM.name))
         )
-        compiler = SynDCIM(seed=options.get("seed"), process=process)  # type: ignore[arg-type]
+        # Corners travel as names (like the process) so only registered
+        # signoff corners can run through the pool — and the resolution
+        # failure for an unknown name lands in this record, not in a
+        # dead worker.
+        corner_names = options.get("corners")
+        corners = None
+        if corner_names:
+            corners = CornerSet.from_names(
+                [str(n) for n in corner_names], name="batch"  # type: ignore[union-attr]
+            )
+        compiler = SynDCIM(
+            seed=options.get("seed"), process=process, corners=corners  # type: ignore[arg-type]
+        )
         if job_type == "implement":
             arch = MacroArchitecture.from_dict(payload["arch"])  # type: ignore[arg-type]
             impl = implement(
@@ -398,6 +449,7 @@ def execute_job(payload: Dict[str, object]) -> Dict[str, object]:
                 process=compiler.process,
                 input_sparsity=float(options.get("input_sparsity", 0.0)),  # type: ignore[arg-type]
                 weight_sparsity=float(options.get("weight_sparsity", 0.0)),  # type: ignore[arg-type]
+                corners=corners,
             )
             return dict(
                 _base_record(spec), implementation=implementation_record(impl)

@@ -26,7 +26,10 @@ memcell         cell name               (per-cell record)
 from __future__ import annotations
 
 import math
-from typing import Iterable, Optional, Tuple
+from typing import TYPE_CHECKING, Iterable, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..signoff.corners import Corner as SignoffCorner
 
 from ..errors import LibraryError
 from ..power.estimator import estimate_power
@@ -154,11 +157,20 @@ def characterize_module(
     library: StdCellLibrary,
     process: Process,
     stage_delays: Tuple[float, ...] = (),
+    corner: Optional["SignoffCorner"] = None,
 ) -> PPARecord:
-    """Flatten + STA + power + area for one generated subcircuit."""
+    """Flatten + STA + power + area for one generated subcircuit.
+
+    With ``corner`` (a :class:`repro.signoff.Corner`), timing runs with
+    the corner's composed derate inside the STA — a real corner
+    characterization, not a post-hoc scaling of the nominal record —
+    and the energy/leakage terms carry the corner's supply and
+    temperature factors.
+    """
     flat = module if module.is_flat else module.flatten()
     flat.validate(library)
-    delay = minimum_period_ns(flat, library)
+    derate = 1.0 if corner is None else corner.timing_derate(process)
+    delay = minimum_period_ns(flat, library, derate=derate)
     power = estimate_power(
         flat,
         library,
@@ -166,12 +178,17 @@ def characterize_module(
         CHAR_FREQUENCY_MHZ,
         input_stats=_char_input_stats(flat),
     )
+    energy_pj = power.energy_per_cycle_pj
+    leakage_mw = power.leakage_mw
+    if corner is not None:
+        energy_pj *= corner.energy_scale(process)
+        leakage_mw *= corner.leakage_scale(process)
     view = net_view(flat, library)
     return PPARecord(
         delay_ns=delay,
-        energy_pj=power.energy_per_cycle_pj,
+        energy_pj=energy_pj,
         area_um2=sum(g.cell.area_um2 * len(g) for g in view.groups),
-        leakage_mw=power.leakage_mw,
+        leakage_mw=leakage_mw,
         cells=view.n_instances,
         stage_delays_ns=stage_delays,
     )
@@ -191,13 +208,19 @@ def build_default_scl(
     process: Optional[Process] = None,
     tree_sizes: Iterable[int] = TREE_SIZES,
     verbose: bool = False,
+    corner: Optional["SignoffCorner"] = None,
 ) -> SubcircuitLibrary:
     """Characterize the full default grid.  Takes a few seconds; callers
     normally go through :func:`repro.scl.library.default_scl`, which
-    caches the result per process."""
+    caches the result per (process, corner).
+
+    ``corner`` characterizes the whole grid at one signoff operating
+    point (derated STA, corner supply/temperature energy and leakage) —
+    the library the searcher prices SS-corner slack from."""
     library = library or default_library()
     process = process or GENERIC_40NM
-    scl = SubcircuitLibrary(process=process, cell_library=library)
+    scl = SubcircuitLibrary(process=process, cell_library=library,
+                            corner=corner)
 
     def log(msg: str) -> None:
         if verbose:
@@ -217,7 +240,7 @@ def build_default_scl(
                 if rec is None:
                     mod, _ = generate_adder_tree(n, style, fa, reorder)
                     rec = tree_cache[key] = characterize_module(
-                        mod, library, process
+                        mod, library, process, corner=corner
                     )
                 scl.table("adder_tree").add(variant, n, rec)
             log(f"adder_tree {variant}")
@@ -228,7 +251,8 @@ def build_default_scl(
             if style == "oai22" and mcr > 2:
                 continue
             mod = generate_mult_mux(mcr, style)
-            rec = characterize_module(mod, library, process)
+            rec = characterize_module(mod, library, process,
+                                      corner=corner)
             scl.table("mult_mux").add(style, mcr, rec)
     log("mult_mux")
 
@@ -237,7 +261,8 @@ def build_default_scl(
         variant = f"k{k}"
         for tw in SA_TREE_WIDTHS:
             mod = generate_shift_adder(tw, k)
-            rec = characterize_module(mod, library, process)
+            rec = characterize_module(mod, library, process,
+                                      corner=corner)
             scl.table("shift_adder").add(variant, tw, rec)
     log("shift_adder")
 
@@ -258,7 +283,7 @@ def build_default_scl(
         if rec is None:
             smod = generate_fuse_stage(width, shift, adder_style=style)
             rec = fuse_cache[key] = characterize_module(
-                smod, library, process
+                smod, library, process, corner=corner
             )
         return rec
 
@@ -276,7 +301,8 @@ def build_default_scl(
                     shift = 1 << (s - 1)
                     stage_delays.append(fuse_record(sw, shift, style).delay_ns)
                 rec = characterize_module(
-                    mod, library, process, stage_delays=tuple(stage_delays)
+                    mod, library, process,
+                    stage_delays=tuple(stage_delays), corner=corner
                 )
                 scl.table("ofu").add(variant, w, rec)
             log(f"ofu c{cols}-{tag}")
@@ -294,12 +320,16 @@ def build_default_scl(
         for width in DRIVER_DIMS:
             wl_load = width * (0.25 + 1.05 * process.wire_cap_ff_per_um)
             mod = generate_wl_driver(unit, wl_load, strength)
-            rec = characterize_module(mod, library, process).scaled(1.0 / unit)
+            rec = characterize_module(
+                mod, library, process, corner=corner
+            ).scaled(1.0 / unit)
             scl.table("wl_driver").add(f"drv{strength}", width, rec)
         for rows in DRIVER_DIMS:
             bl_load = rows * (0.30 + 1.0 * process.wire_cap_ff_per_um)
             mod = generate_bl_driver(unit, bl_load, strength)
-            rec = characterize_module(mod, library, process).scaled(1.0 / unit)
+            rec = characterize_module(
+                mod, library, process, corner=corner
+            ).scaled(1.0 / unit)
             scl.table("bl_driver").add(f"drv{strength}", rows, rec)
     log("drivers")
 
@@ -307,21 +337,27 @@ def build_default_scl(
     for fmt in ALIGN_FORMATS:
         for lanes in ALIGN_LANES:
             mod = generate_alignment_unit(fmt, lanes)
-            rec = characterize_module(mod, library, process)
+            rec = characterize_module(mod, library, process,
+                                      corner=corner)
             scl.table("alignment").add(fmt.name, lanes, rec)
         log(f"alignment {fmt.name}")
 
-    # Memory bitcells (closed-form, per cell).
+    # Memory bitcells (closed-form, per cell; the corner factors apply
+    # to the same three quantities the STA/power path derates).
+    mem_derate = 1.0 if corner is None else corner.timing_derate(process)
+    mem_e = 1.0 if corner is None else corner.energy_scale(process)
+    mem_l = 1.0 if corner is None else corner.leakage_scale(process)
     for name in MEMCELLS:
         cell = library.cell(name)
         scl.table("memcell").add(
             name,
             1,
             PPARecord(
-                delay_ns=cell.arcs[0].d0_ns,
-                energy_pj=cell.internal_energy_fj.get("RD", 0.2) * 1e-3,
+                delay_ns=cell.arcs[0].d0_ns * mem_derate,
+                energy_pj=cell.internal_energy_fj.get("RD", 0.2)
+                * 1e-3 * mem_e,
                 area_um2=cell.area_um2,
-                leakage_mw=cell.leakage_nw * 1e-6,
+                leakage_mw=cell.leakage_nw * 1e-6 * mem_l,
                 cells=1,
             ),
         )

@@ -5,7 +5,9 @@ characterization — and before this cache existed that price was paid by
 *every process*: each CLI invocation, each pytest session, and each
 batch-engine worker.  The sealed library, however, is a pure function of
 
-* the process corner (every :class:`~repro.tech.process.Process` field),
+* the process node (every :class:`~repro.tech.process.Process` field)
+  and, for corner libraries, the signoff corner tuple
+  (name, process sigma, supply scale, temperature),
 * the standard-cell library (geometry, arcs, energies **and** logic
   behaviour — truth tables are enumerated into the fingerprint so a
   changed cell function invalidates the artifact), and
@@ -48,12 +50,15 @@ import os
 import pathlib
 import tempfile
 import time
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from ..errors import LibraryError
 from ..tech.process import Process
 from ..tech.stdcells import Cell, StdCellLibrary
 from .lut import PPARecord
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..signoff.corners import Corner
 
 #: Bump on any incompatible change to the artifact layout *or* to the
 #: record semantics that the fingerprints cannot see.
@@ -143,6 +148,29 @@ def process_fingerprint(process: Process) -> dict:
         "wire_res_kohm_per_um": process.wire_res_kohm_per_um,
         "track_pitch_um": process.track_pitch_um,
         "row_height_um": process.row_height_um,
+        "temp_nominal_c": process.temp_nominal_c,
+        "temp_delay_per_c": process.temp_delay_per_c,
+        "temp_leak_exp_c": process.temp_leak_exp_c,
+    }
+
+
+def corner_fingerprint(corner: Optional["Corner"]) -> Optional[dict]:
+    """Identity of the signoff corner a library was characterized at.
+
+    ``None`` (the nominal characterization point) fingerprints as
+    ``None`` — deliberately identical to the pre-corner schema payload
+    shape, extended with the process-sigma deratings so a recalibrated
+    sigma invalidates the corner artifacts that baked it in.
+    """
+    if corner is None:
+        return None
+    return {
+        "name": corner.name,
+        "process_corner": corner.process_corner,
+        "vdd_scale": corner.vdd_scale,
+        "temp_c": corner.temp_c,
+        "delay_factor": corner.sigma.delay_factor,
+        "leakage_factor": corner.sigma.leakage_factor,
     }
 
 
@@ -164,13 +192,20 @@ def model_fingerprint() -> dict:
     }
 
 
-def scl_cache_key(library: StdCellLibrary, process: Process) -> str:
-    """Content hash over everything a cold build is a function of."""
+def scl_cache_key(
+    library: StdCellLibrary,
+    process: Process,
+    corner: Optional["Corner"] = None,
+) -> str:
+    """Content hash over everything a cold build is a function of —
+    including the signoff corner tuple for corner-characterized
+    libraries, so every (process, corner) pair owns its own artifact."""
     from .builder import grid_fingerprint
 
     payload = {
         "schema": SCL_CACHE_SCHEMA,
         "process": process_fingerprint(process),
+        "corner": corner_fingerprint(corner),
         "cells": library_fingerprint(library),
         "builder": grid_fingerprint(),
         "model": model_fingerprint(),
@@ -224,12 +259,18 @@ def scl_to_payload(scl, key: str) -> dict:
         "key": key,
         "created": time.time(),
         "process": scl.process.name,
+        "corner": None if scl.corner is None else list(scl.corner.key()),
         "entry_count": scl.entry_count(),
         "tables": tables,
     }
 
 
-def scl_from_payload(payload: dict, library: StdCellLibrary, process: Process):
+def scl_from_payload(
+    payload: dict,
+    library: StdCellLibrary,
+    process: Process,
+    corner: Optional["Corner"] = None,
+):
     """Rebuild a sealed library from a payload; raises on any mismatch
     (the caller treats every failure as a cache miss)."""
     from .library import KINDS, SubcircuitLibrary
@@ -238,8 +279,12 @@ def scl_from_payload(payload: dict, library: StdCellLibrary, process: Process):
         raise LibraryError("SCL cache: schema mismatch")
     if payload.get("process") != process.name:
         raise LibraryError("SCL cache: process mismatch")
+    want = None if corner is None else list(corner.key())
+    if payload.get("corner") != want:
+        raise LibraryError("SCL cache: corner mismatch")
     tables = payload["tables"]
-    scl = SubcircuitLibrary(process=process, cell_library=library)
+    scl = SubcircuitLibrary(process=process, cell_library=library,
+                            corner=corner)
     for kind in KINDS:
         for variant, dim, data in tables[kind]:
             scl.table(kind).add(str(variant), int(dim), _record_from_dict(data))
@@ -260,8 +305,13 @@ def _artifact_path(key: str) -> pathlib.Path:
     return scl_cache_dir() / f"v{SCL_CACHE_SCHEMA}" / f"{key}.json"
 
 
-def load_cached_scl(library: StdCellLibrary, process: Process):
-    """The persisted library for this tech stack, or ``None``.
+def load_cached_scl(
+    library: StdCellLibrary,
+    process: Process,
+    corner: Optional["Corner"] = None,
+):
+    """The persisted library for this tech stack (at ``corner``, when
+    given), or ``None``.
 
     Every failure mode — cache disabled, artifact missing, unreadable,
     corrupted, fingerprint drift (which changes the key, so the old
@@ -270,14 +320,14 @@ def load_cached_scl(library: StdCellLibrary, process: Process):
     """
     if not scl_cache_enabled():
         return None
-    key = scl_cache_key(library, process)
+    key = scl_cache_key(library, process, corner)
     path = _artifact_path(key)
     try:
         with open(path, "r", encoding="utf-8") as fh:
             payload = json.load(fh)
         if payload.get("key") != key:
             raise LibraryError("SCL cache: key mismatch")
-        return scl_from_payload(payload, library, process)
+        return scl_from_payload(payload, library, process, corner)
     except (OSError, ValueError, KeyError, TypeError, LibraryError):
         return None
 
@@ -288,7 +338,7 @@ def store_cached_scl(scl) -> Optional[pathlib.Path]:
     must never break the build that produced the library)."""
     if not scl_cache_enabled():
         return None
-    key = scl_cache_key(scl.cell_library, scl.process)
+    key = scl_cache_key(scl.cell_library, scl.process, scl.corner)
     path = _artifact_path(key)
     payload = scl_to_payload(scl, key)
     try:

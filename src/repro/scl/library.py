@@ -2,12 +2,15 @@
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 from ..errors import LibraryError
 from ..tech.process import GENERIC_40NM, Process
 from ..tech.stdcells import StdCellLibrary, default_library
 from .lut import PPARecord, PPATable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..signoff.corners import Corner
 
 KINDS = (
     "adder_tree",
@@ -30,9 +33,17 @@ class SubcircuitLibrary:
     searcher and the baselines.
     """
 
-    def __init__(self, process: Process, cell_library: StdCellLibrary) -> None:
+    def __init__(
+        self,
+        process: Process,
+        cell_library: StdCellLibrary,
+        corner: Optional["Corner"] = None,
+    ) -> None:
         self.process = process
         self.cell_library = cell_library
+        #: Signoff corner the records were characterized at (``None``
+        #: means the nominal TT/V/T characterization point).
+        self.corner = corner
         self._tables: Dict[str, PPATable] = {k: PPATable(k) for k in KINDS}
         self._sealed = False
 
@@ -61,7 +72,10 @@ class SubcircuitLibrary:
         return sum(len(t) for t in self._tables.values())
 
     def summary(self) -> str:
-        lines = [f"subcircuit library @ {self.process.name}:"]
+        at = self.process.name
+        if self.corner is not None:
+            at += f" @ corner {self.corner.name}"
+        lines = [f"subcircuit library @ {at}:"]
         for kind in KINDS:
             t = self._tables[kind]
             lines.append(
@@ -71,33 +85,48 @@ class SubcircuitLibrary:
         return "\n".join(lines)
 
 
-_CACHE: Dict[str, SubcircuitLibrary] = {}
+_CACHE: Dict[Tuple, SubcircuitLibrary] = {}
 
-#: How the per-process default SCL was most recently obtained:
-#: ``"built"`` (fresh characterization) or ``"disk"`` (persistent
-#: cache artifact).  Diagnostics for tests and the perf harness.
-_SOURCE: Dict[str, str] = {}
+#: How the per-(process, corner) default SCL was most recently
+#: obtained: ``"built"`` (fresh characterization) or ``"disk"``
+#: (persistent cache artifact).  Diagnostics for tests and the perf
+#: harness.
+_SOURCE: Dict[Tuple, str] = {}
+
+
+def _cache_key(process: Process, corner: Optional["Corner"]) -> Tuple:
+    return (process.name, None if corner is None else corner.key())
 
 
 def default_scl(
-    process: Optional[Process] = None, verbose: bool = False
+    process: Optional[Process] = None,
+    verbose: bool = False,
+    corner: Optional["Corner"] = None,
 ) -> SubcircuitLibrary:
     """Shared, lazily built SCL for the default cell library.
 
     Resolution order: the in-process cache, then the persistent on-disk
     artifact (see :mod:`repro.scl.cache` — milliseconds), then a full
     characterization whose result is persisted for every later process.
+
+    ``corner`` resolves the library characterized at that signoff
+    operating point (see :func:`repro.scl.builder.build_default_scl`);
+    corner libraries live in the same persistent cache under keys that
+    include the corner tuple, so a repeated corner is warm across
+    processes exactly like the nominal library.
     """
     from .builder import build_default_scl
     from .cache import load_cached_scl, store_cached_scl
 
     process = process or GENERIC_40NM
-    key = process.name
+    key = _cache_key(process, corner)
     if key not in _CACHE:
         library = default_library()
-        scl = load_cached_scl(library, process)
+        scl = load_cached_scl(library, process, corner)
         if scl is None:
-            scl = build_default_scl(library, process, verbose=verbose)
+            scl = build_default_scl(
+                library, process, verbose=verbose, corner=corner
+            )
             store_cached_scl(scl)
             _SOURCE[key] = "built"
         else:
@@ -106,18 +135,23 @@ def default_scl(
     return _CACHE[key]
 
 
-def default_scl_source(process: Optional[Process] = None) -> Optional[str]:
+def default_scl_source(
+    process: Optional[Process] = None,
+    corner: Optional["Corner"] = None,
+) -> Optional[str]:
     """``"built"``/``"disk"`` for an already-resolved default SCL, else
     ``None`` (never triggers a build)."""
-    return _SOURCE.get((process or GENERIC_40NM).name)
+    return _SOURCE.get(_cache_key(process or GENERIC_40NM, corner))
 
 
 def cached_default_scl(
     process: Optional[Process] = None,
+    corner: Optional["Corner"] = None,
 ) -> Optional[SubcircuitLibrary]:
-    """The already-built default SCL for ``process``, or ``None``.
+    """The already-built default SCL for ``(process, corner)``, or
+    ``None``.
 
     Identity probe that never triggers the multi-second
     characterization — for callers that only need to know whether an
     SCL *is* the shared default (e.g. cache-eligibility checks)."""
-    return _CACHE.get((process or GENERIC_40NM).name)
+    return _CACHE.get(_cache_key(process or GENERIC_40NM, corner))

@@ -54,17 +54,42 @@ class SearchResult:
     frontier: List[MacroEstimate]
     trace: List[SearchTraceEntry] = field(default_factory=list)
     fix_counts: Dict[str, int] = field(default_factory=dict)
+    #: Signoff-corner slack (ns) per candidate architecture (keyed by
+    #: ``arch.knob_summary()``), filled only when the searcher was
+    #: given a signoff SCL.  Feasibility stays TT; this is the ranking
+    #: signal ``select`` prefers and the escalation phase improves.
+    signoff_slacks: Dict[str, float] = field(default_factory=dict)
+    #: Name of the signoff corner the slacks were priced at, if any.
+    signoff_corner: Optional[str] = None
+
+    def signoff_slack(self, est: MacroEstimate) -> Optional[float]:
+        return self.signoff_slacks.get(est.arch.knob_summary())
 
     def select(self, ppa: Optional[PPAWeights] = None) -> MacroEstimate:
-        """Pick the frontier point minimizing the weighted PPA score."""
+        """Pick the frontier point minimizing the weighted PPA score.
+
+        When signoff-corner slacks are available, frontier points that
+        already meet timing at the signoff corner outrank those that
+        rely on post-layout escalation; the weighted score breaks ties
+        inside each class.
+        """
         weights = ppa or self.spec.ppa
         if not self.frontier:
             raise SearchError(
                 f"no feasible design for {self.spec.describe()}; "
                 "relax the frequency or grow the array"
             )
+        pool = self.frontier
+        if self.signoff_slacks:
+            met = []
+            for e in pool:
+                slack = self.signoff_slack(e)
+                if slack is not None and slack >= -1e-9:
+                    met.append(e)
+            if met:
+                pool = met
         return min(
-            self.frontier,
+            pool,
             key=lambda e: weights.score(
                 e.power_mw, e.critical_path_ns, e.area_um2
             ),
@@ -77,7 +102,11 @@ class SearchResult:
             f"{len(self.frontier)} on the Pareto frontier"
         ]
         for est in self.frontier:
-            lines.append(f"  {est.describe()}")
+            line = f"  {est.describe()}"
+            slack = self.signoff_slack(est)
+            if slack is not None:
+                line += f" [{self.signoff_corner} slack {slack:+.3f} ns]"
+            lines.append(line)
         return "\n".join(lines)
 
 
@@ -170,6 +199,7 @@ class MSOSearcher:
         merge_moves=MERGE_MOVES,
         tuning_moves=TUNING_MOVES,
         seed: Optional[int] = None,
+        signoff_scl: Optional[SubcircuitLibrary] = None,
     ) -> None:
         self._scl = scl
         self.mac_fixes = tuple(mac_fixes)
@@ -177,6 +207,15 @@ class MSOSearcher:
         self.merge_moves = tuple(merge_moves)
         self.tuning_moves = tuple(tuning_moves)
         self.seed = seed
+        #: Corner-characterized SCL (see ``default_scl(corner=...)``):
+        #: candidates are *optimized* at TT (feasibility, PPA scoring)
+        #: but additionally priced here, and the searcher escalates
+        #: toward non-negative slack at this corner.
+        self.signoff_scl = signoff_scl
+        # Per-search memo for corner estimates: repair, merge, tune and
+        # candidate recording all price the same architectures.
+        self._signoff_memo: Dict[Tuple[MacroSpec, MacroArchitecture],
+                                 MacroEstimate] = {}
 
     @property
     def scl(self) -> SubcircuitLibrary:
@@ -187,7 +226,11 @@ class MSOSearcher:
     # -- public API -----------------------------------------------------------
 
     def search(self, spec: MacroSpec) -> SearchResult:
+        self._signoff_memo.clear()
         result = SearchResult(spec=spec, candidates=[], frontier=[])
+        if self.signoff_scl is not None:
+            corner = self.signoff_scl.corner
+            result.signoff_corner = corner.name if corner else "signoff"
         seen: Dict[str, MacroEstimate] = {}
 
         def record(seed: str, move: str, est: MacroEstimate) -> None:
@@ -199,6 +242,10 @@ class MSOSearcher:
                 if key not in seen:
                     seen[key] = est
                     result.candidates.append(est)
+                    if self.signoff_scl is not None:
+                        result.signoff_slacks[key] = self._signoff_slack(
+                            spec, est.arch
+                        )
 
         for seed_name, seed_arch in seed_architectures(spec, self.seed):
             est = self._estimate(spec, seed_arch)
@@ -206,6 +253,7 @@ class MSOSearcher:
             est = self._repair_timing(spec, est, seed_name, record)
             if est is None or not est.met:
                 continue
+            est = self._repair_signoff(spec, est, seed_name, record)
             est = self._merge_registers(spec, est, seed_name, record)
             self._fine_tune(spec, est, seed_name, record)
 
@@ -221,6 +269,26 @@ class MSOSearcher:
         self, spec: MacroSpec, arch: MacroArchitecture
     ) -> MacroEstimate:
         return estimate_macro(spec, arch, self.scl)
+
+    def _signoff_estimate(
+        self, spec: MacroSpec, arch: MacroArchitecture
+    ) -> MacroEstimate:
+        key = (spec, arch)
+        est = self._signoff_memo.get(key)
+        if est is None:
+            est = self._signoff_memo[key] = estimate_macro(
+                spec, arch, self.signoff_scl
+            )
+        return est
+
+    def _signoff_slack(self, spec: MacroSpec, arch: MacroArchitecture) -> float:
+        return self._signoff_estimate(spec, arch).slack_ns
+
+    def _signoff_ok(self, spec: MacroSpec, est: MacroEstimate) -> bool:
+        """Timing at the signoff corner, when one is configured."""
+        if self.signoff_scl is None:
+            return True
+        return self._signoff_estimate(spec, est.arch).met
 
     def _repair_timing(
         self, spec, est, seed_name, record
@@ -268,8 +336,59 @@ class MSOSearcher:
             record(seed_name, name, est)
         return est if est.met else None
 
+    def _repair_signoff(
+        self, spec, est, seed_name, record
+    ) -> MacroEstimate:
+        """Escalate on signoff-corner slack (paper loop, worst corner).
+
+        Runs after TT timing closes: while the corner-characterized SCL
+        still prices the candidate short of the target, the same fix
+        families keep escalating — but only through architectures that
+        stay TT-feasible, and every step must strictly improve the
+        corner's critical path.  When the corner cannot be closed at
+        the estimate level the best TT-met point reached is kept (the
+        LUT model carries a wire derate the placed design may not pay,
+        and post-layout escalation re-checks the real corner slack).
+        """
+        if self.signoff_scl is None:
+            return est
+        s_est = self._signoff_estimate(spec, est.arch)
+        for _ in range(MAX_REPAIR_STEPS):
+            if s_est.met:
+                return est
+            crit = s_est.critical_segment.name
+            primary = (
+                self.ofu_fixes if crit.startswith("ofu") else self.mac_fixes
+            )
+            fallback = (
+                self.mac_fixes if crit.startswith("ofu") else self.ofu_fixes
+            )
+            improved = None
+            for name, move in primary + fallback:
+                candidate_arch = move(spec, est.arch)
+                if candidate_arch is None:
+                    continue
+                try:
+                    candidate = self._estimate(spec, candidate_arch)
+                    if not candidate.met:
+                        continue
+                    candidate_s = self._signoff_estimate(spec, candidate_arch)
+                except Exception:
+                    continue
+                if candidate_s.critical_path_ns < s_est.critical_path_ns - 1e-6:
+                    improved = (name, candidate, candidate_s)
+                    break
+            if improved is None:
+                return est
+            name, est, s_est = improved
+            record(seed_name, name, est)
+        return est
+
     def _merge_registers(self, spec, est, seed_name, record) -> MacroEstimate:
-        """Remove boundary registers while the merged path meets timing."""
+        """Remove boundary registers while the merged path meets timing
+        (and, when a signoff corner is configured, does not fall out of
+        a corner-met state the escalation just reached)."""
+        hold_signoff = self._signoff_ok(spec, est)
         changed = True
         while changed:
             changed = False
@@ -278,7 +397,9 @@ class MSOSearcher:
                 if candidate_arch is None:
                     continue
                 candidate = self._estimate(spec, candidate_arch)
-                if candidate.met:
+                if candidate.met and (
+                    not hold_signoff or self._signoff_ok(spec, candidate)
+                ):
                     est = candidate
                     record(seed_name, name, est)
                     changed = True
@@ -286,8 +407,12 @@ class MSOSearcher:
 
     def _fine_tune(self, spec, est, seed_name, record) -> MacroEstimate:
         """Greedy power/area substitutions holding timing; records every
-        feasible intermediate as a candidate for the frontier."""
+        feasible intermediate as a candidate for the frontier.  A
+        corner-met starting point only accepts substitutions that stay
+        corner-met (tuning must not spend the signoff slack escalation
+        just bought)."""
         weights = spec.ppa
+        hold_signoff = self._signoff_ok(spec, est)
         improved = True
         steps = 0
         while improved and steps < MAX_REPAIR_STEPS:
@@ -305,6 +430,8 @@ class MSOSearcher:
                 except Exception:
                     continue
                 if not candidate.met:
+                    continue
+                if hold_signoff and not self._signoff_ok(spec, candidate):
                     continue
                 record(seed_name, name, candidate)
                 score = weights.score(

@@ -1,0 +1,42 @@
+"""Multi-corner PVT signoff.
+
+Everything the flow needs to judge an implementation at more than one
+operating point: the :class:`Corner`/:class:`CornerSet` PVT model
+(process sigma x supply x temperature, with the ``typical`` and
+``signoff3`` presets), and :func:`multi_corner_signoff`, which re-runs
+timing with the composed derate and rescales power per corner while
+reusing every per-netlist cache.  See ``docs/signoff.md`` for the
+model, the cache-key semantics and the worst-corner escalation story.
+"""
+
+from .corners import (
+    CORNER_SET_PRESETS,
+    SIGNOFF3,
+    SIGNOFF_CORNERS,
+    TYPICAL,
+    Corner,
+    CornerSet,
+    parse_corners,
+    worst_corner_scl,
+)
+from .evaluate import (
+    CornerResult,
+    SignoffReport,
+    corner_power,
+    multi_corner_signoff,
+)
+
+__all__ = [
+    "CORNER_SET_PRESETS",
+    "SIGNOFF3",
+    "SIGNOFF_CORNERS",
+    "TYPICAL",
+    "Corner",
+    "CornerSet",
+    "CornerResult",
+    "SignoffReport",
+    "corner_power",
+    "multi_corner_signoff",
+    "parse_corners",
+    "worst_corner_scl",
+]

@@ -24,7 +24,15 @@ from ..errors import SpecificationError
 
 @dataclass(frozen=True)
 class Corner:
-    """A process corner as a pair of multiplicative deratings."""
+    """A *pure process* corner: the global sigma of the transistors,
+    as a pair of multiplicative deratings at the characterized V/T.
+
+    Supply droop and temperature are separate axes — they compose with
+    the process sigma through :class:`repro.signoff.Corner`, which is
+    what the multi-corner signoff flow actually evaluates.  (Earlier
+    revisions bundled worst-case V/T into ``delay_factor``; the signoff
+    subsystem decomposes the derate so each axis is visible.)
+    """
 
     name: str
     delay_factor: float
@@ -32,8 +40,8 @@ class Corner:
 
 
 TT = Corner("TT", 1.00, 1.0)
-SS = Corner("SS", 1.18, 0.55)
-FF = Corner("FF", 0.87, 2.1)
+SS = Corner("SS", 1.08, 0.55)
+FF = Corner("FF", 0.93, 2.1)
 
 CORNERS = {c.name: c for c in (TT, SS, FF)}
 
@@ -61,6 +69,14 @@ class Process:
         Routing pitch, used by the congestion model.
     row_height_um:
         Standard-cell row height for placement.
+    temp_nominal_c:
+        Temperature the library is characterized at.
+    temp_delay_per_c:
+        Linear gate-delay sensitivity to junction temperature (mobility
+        degradation; per degree C away from ``temp_nominal_c``).
+    temp_leak_exp_c:
+        e-folding temperature of sub-threshold leakage (degrees C per
+        ``e``-factor of leakage growth).
     """
 
     name: str = "generic40"
@@ -73,6 +89,9 @@ class Process:
     wire_res_kohm_per_um: float = 0.002
     track_pitch_um: float = 0.14
     row_height_um: float = 1.8
+    temp_nominal_c: float = 25.0
+    temp_delay_per_c: float = 0.00025
+    temp_leak_exp_c: float = 40.0
 
     def __post_init__(self) -> None:
         if not self.vdd_min < self.vdd_nominal < self.vdd_max:
@@ -110,6 +129,25 @@ class Process:
         """Sub-threshold leakage multiplier; roughly exponential in Vdd
         through DIBL.  Calibrated mildly (factor ~3 across the window)."""
         return math.exp(1.8 * (vdd - self.vdd_nominal))
+
+    # -- temperature scaling -------------------------------------------------
+
+    def temperature_delay_scale(self, temp_c: float) -> float:
+        """Gate-delay multiplier at junction temperature ``temp_c``
+        relative to the characterization temperature (mobility
+        degradation: hotter is slower).  1.0 at ``temp_nominal_c``."""
+        scale = 1.0 + self.temp_delay_per_c * (temp_c - self.temp_nominal_c)
+        if scale <= 0.0:
+            raise SpecificationError(
+                f"temperature {temp_c} C drives the delay scale "
+                f"non-positive for {self.name}"
+            )
+        return scale
+
+    def temperature_leakage_scale(self, temp_c: float) -> float:
+        """Sub-threshold leakage multiplier at ``temp_c`` (exponential
+        in temperature).  1.0 at ``temp_nominal_c``."""
+        return math.exp((temp_c - self.temp_nominal_c) / self.temp_leak_exp_c)
 
     def max_frequency_mhz(self, critical_path_ns: float, vdd: float) -> float:
         """Highest clock (MHz) the given nominal-voltage path sustains at
