@@ -21,7 +21,12 @@ Absolute invariants (not ratios — these hold on any machine):
 * ``signoff_corner_ratio`` <= 2.0 — a warm 3-corner run costs less
   than twice a single-corner run (the multi-corner subsystem's
   acceptance contract);
-* ``signoff_ss_clean`` — the quickstart macro signs off at SS.
+* ``signoff_ss_clean`` — the quickstart macro signs off at SS;
+* ``vecsim_speedup`` >= 100 — the vectorized batch verifier stays at
+  least 100x faster per vector than the scalar simulator (same-machine
+  ratio), and ``vecsim_verified_clean`` — the quickstart netlist
+  verifies clean against the golden model.  ``vecsim_vectors_per_s``
+  is additionally floored at half its baseline.
 
 Run after ``make perf``::
 
@@ -52,8 +57,23 @@ GUARDED = (
 #: Machine-independent invariants: (metric, max allowed value).
 RATIO_CEILINGS = (("signoff_corner_ratio", 2.0),)
 
+#: Machine-independent invariants: (metric, min allowed value).
+#: ``vecsim_speedup`` is the batch-verification engine's acceptance
+#: contract — both rates are measured on the same machine, so the
+#: ratio holds anywhere; falling under 100x means the vectorized
+#: kernels de-vectorized.
+RATIO_FLOORS = (("vecsim_speedup", 100.0),)
+
+#: Throughput metrics (higher is better): fail when
+#: ``measured < baseline / divisor``.
+THROUGHPUT_FLOORS = (("vecsim_vectors_per_s", 2.0),)
+
 #: Boolean metrics that must be true.
-REQUIRED_TRUE = ("implement_signoff_clean", "signoff_ss_clean")
+REQUIRED_TRUE = (
+    "implement_signoff_clean",
+    "signoff_ss_clean",
+    "vecsim_verified_clean",
+)
 
 
 def latest_metrics(results_path: pathlib.Path) -> dict:
@@ -99,6 +119,31 @@ def main(argv=None) -> int:
         lines.append(f"{name:<22} {got:>9.4f}   ceiling {ceiling} {verdict}")
         if got > ceiling:
             failures.append(f"{name}: {got:.4f} > ceiling {ceiling}")
+    for name, floor in RATIO_FLOORS:
+        got = metrics.get(name)
+        if got is None:
+            failures.append(f"{name}: missing from run")
+            continue
+        verdict = "ok" if got >= floor else "REGRESSED"
+        lines.append(f"{name:<22} {got:>9.1f}   floor {floor} {verdict}")
+        if got < floor:
+            failures.append(f"{name}: {got:.1f} < floor {floor}")
+    for name, divisor in THROUGHPUT_FLOORS:
+        base = baseline.get(name)
+        got = metrics.get(name)
+        if base is None or got is None:
+            failures.append(f"{name}: missing (baseline={base}, run={got})")
+            continue
+        limit = base / divisor
+        verdict = "ok" if got >= limit else "REGRESSED"
+        lines.append(
+            f"{name:<22} {got:>9.1f}   baseline {base:.1f} "
+            f"(floor {limit:.1f}) {verdict}"
+        )
+        if got < limit:
+            failures.append(
+                f"{name}: {got:.1f} < baseline {base:.1f} / {divisor:.1f}"
+            )
     for name in REQUIRED_TRUE:
         got = metrics.get(name)
         verdict = "ok" if got else "FAILED"

@@ -36,6 +36,13 @@ trajectory is tracked PR over PR:
     multi-corner subsystem's contract is that the per-view cache
     sharing keeps the ratio under 2x (guarded by the CI
     perf-regression job; ``signoff_ss_clean`` must also hold).
+``vecsim_vectors_per_s`` / ``gatesim_vectors_per_s`` / ``vecsim_speedup``
+    batch functional verification of the quickstart macro netlist:
+    end-to-end ``verify_macro`` throughput (stimulus generation, weight
+    loads, simulation and checking included) versus the scalar
+    ``GateSimulator`` reference driving the same netlist — the
+    vectorized sim's acceptance contract is a >= 100x per-vector
+    speedup (``vecsim_verified_clean`` must also hold).
 
 Run directly (``python benchmarks/perf/run_perf.py``) or via
 ``make perf``.  ``--output`` overrides the JSON path; ``--quick`` skips
@@ -245,6 +252,53 @@ def bench_signoff(repeats: int = 3) -> dict:
     }
 
 
+def _scalar_reference_rate(spec, arch, flat, shape, vectors: int = 2) -> float:
+    """MAC vectors/second through the scalar ``GateSimulator`` on one
+    generated macro netlist, driven with the *shared* cycle protocol
+    (:meth:`repro.verify.testbench.VecMacroTestbench.scalar_mac_rate` —
+    one protocol definition for the harness, the perf suite and the
+    smoke tests)."""
+    import numpy as np
+
+    from repro.sim.formats import int_range
+    from repro.spec import INT8
+    from repro.verify import VecMacroTestbench
+
+    tb = VecMacroTestbench(spec, arch, batch=1, netlist=flat, shape=shape)
+    rng = np.random.default_rng(0)
+    lo, hi = int_range(INT8.bits)
+    tb.load_weights(
+        0,
+        rng.integers(lo, hi + 1, size=(spec.height, tb.model.n_groups)),
+        INT8,
+    )
+    return tb.scalar_mac_rate(vectors=vectors)
+
+
+def bench_vecsim(vectors: int = 4096) -> dict:
+    """Vectorized batch verification vs the scalar simulator."""
+    from repro.arch import MacroArchitecture
+    from repro.rtl.gen.macro import generate_macro
+    from repro.verify import verify_macro
+
+    spec = _quickstart_spec()
+    arch = MacroArchitecture()
+    module, shape = generate_macro(spec, arch)
+    flat = module.flatten()
+    report = verify_macro(
+        spec, arch, netlist=flat, shape=shape, vectors=vectors, seed=1
+    )
+    scalar_rate = _scalar_reference_rate(spec, arch, flat, shape)
+    return {
+        "vecsim_vectors": vectors,
+        "vecsim_verify_s": round(report.elapsed_s, 4),
+        "vecsim_vectors_per_s": round(report.vectors_per_s, 1),
+        "gatesim_vectors_per_s": round(scalar_rate, 3),
+        "vecsim_speedup": round(report.vectors_per_s / scalar_rate, 1),
+        "vecsim_verified_clean": bool(report.passed),
+    }
+
+
 def bench_implement_sweep(jobs: int = 0) -> dict:
     """16-point implemented sweep through the batch engine."""
     from repro.batch.engine import BatchCompiler
@@ -325,6 +379,7 @@ def collect(quick: bool = False) -> dict:
         metrics.update(bench_search())
         metrics.update(bench_implement())
         metrics.update(bench_signoff())
+        metrics.update(bench_vecsim())
         if not quick:
             # The sweeps run against the freshly primed temporary cache
             # so worker warmup exercises the disk artifact path.

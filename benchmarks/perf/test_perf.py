@@ -30,6 +30,11 @@ IMPLEMENT_CEILING_S = 3.0
 #: twice a single-corner run (measured ~1.15x; the per-view STA/power
 #: caches are what hold this — losing them costs ~3x).
 SIGNOFF_RATIO_CEILING = 2.0
+#: Batch-verification contract: the vectorized simulator delivers at
+#: least 100x the scalar simulator's vectors/second on the quickstart
+#: macro (measured ~10,000x; the floor only trips if the engine
+#: de-vectorizes into a per-vector loop).
+VECSIM_SPEEDUP_FLOOR = 100.0
 
 
 def test_warm_scl_load_smoke(tmp_path: pathlib.Path):
@@ -87,6 +92,33 @@ def test_full_implement_smoke(scl):
     assert impl.drc.clean and impl.lvs.clean and impl.timing.met
     assert elapsed < IMPLEMENT_CEILING_S, (
         f"full implement took {elapsed:.3f}s (ceiling {IMPLEMENT_CEILING_S}s)"
+    )
+
+
+def test_vecsim_speedup_smoke():
+    """The vectorized batch verifier must stay >= 100x faster per
+    vector than the scalar reference on the quickstart macro — and the
+    generated netlist must verify clean against the golden model.
+    Both rates are measured here on the same machine and netlist, so
+    the ratio is immune to runner speed."""
+    from repro.arch import MacroArchitecture
+    from repro.rtl.gen.macro import generate_macro
+    from repro.verify import verify_macro
+
+    spec = run_perf._quickstart_spec()
+    arch = MacroArchitecture()
+    module, shape = generate_macro(spec, arch)
+    flat = module.flatten()
+    report = verify_macro(
+        spec, arch, netlist=flat, shape=shape, vectors=2048, seed=1
+    )
+    assert report.passed, report.describe()
+    scalar_rate = run_perf._scalar_reference_rate(spec, arch, flat, shape)
+    speedup = report.vectors_per_s / scalar_rate
+    assert speedup >= VECSIM_SPEEDUP_FLOOR, (
+        f"vecsim only {speedup:.0f}x the scalar simulator "
+        f"({report.vectors_per_s:.0f} vs {scalar_rate:.2f} vectors/s; "
+        f"floor {VECSIM_SPEEDUP_FLOOR}x)"
     )
 
 

@@ -32,7 +32,10 @@ from typing import Dict, Optional
 #: simply never looked up again (they live under the old version dir).
 #: v2: records carry per-corner signoff metrics (``implementation.
 #: signoff``) and jobs key the corner-name tuple.
-CACHE_SCHEMA_VERSION = 2
+#: v3: records carry functional-verification results
+#: (``implementation.verified`` / ``implementation.verification``) and
+#: jobs key the verify options.
+CACHE_SCHEMA_VERSION = 3
 
 
 def _unlink_quietly(path: str) -> None:

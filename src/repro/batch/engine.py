@@ -36,6 +36,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
 
 from ..arch import MacroArchitecture
 from ..spec import MacroSpec
+from ..verify.harness import DEFAULT_VECTORS
 from .cache import ResultCache
 from .jobs import CompileJob, ImplementJob
 
@@ -123,6 +124,12 @@ class BatchCompiler:
         Signoff-corner names forwarded to every job (part of the cache
         key); each worker then evaluates its design at every corner, so
         a corner sweep fans out over the same pool as the spec grid.
+    verify / verify_vectors:
+        Post-synthesis functional verification forwarded to every
+        compile job (part of the cache key): each worker drives its
+        implemented netlist with that many randomized + directed MAC
+        stimuli against the golden model and the record carries the
+        report — functional verification as a batch workload.
     progress:
         Optional callback invoked after each job resolves.
     """
@@ -135,6 +142,8 @@ class BatchCompiler:
         seed: Optional[int] = None,
         progress: Optional[ProgressFn] = None,
         corners: Optional[Sequence[str]] = None,
+        verify: bool = False,
+        verify_vectors: int = DEFAULT_VECTORS,
     ) -> None:
         self.jobs = max(1, jobs if jobs is not None else (os.cpu_count() or 1))
         if use_cache:
@@ -145,6 +154,8 @@ class BatchCompiler:
             self.cache = None
         self.seed = seed
         self.corners = None if corners is None else tuple(corners)
+        self.verify = verify
+        self.verify_vectors = verify_vectors
         self.progress = progress
 
     # -- job construction ---------------------------------------------------
@@ -166,6 +177,8 @@ class BatchCompiler:
                     weight_sparsity=weight_sparsity,
                     seed=self.seed,
                     corners=self.corners,
+                    verify=self.verify,
+                    verify_vectors=self.verify_vectors,
                 )
                 for spec in specs
             ]
@@ -188,6 +201,8 @@ class BatchCompiler:
                     input_sparsity=input_sparsity,
                     weight_sparsity=weight_sparsity,
                     corners=self.corners,
+                    verify=self.verify,
+                    verify_vectors=self.verify_vectors,
                 )
                 for arch in archs
             ]

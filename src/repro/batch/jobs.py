@@ -23,6 +23,7 @@ from typing import Dict, Optional, Tuple
 from ..arch import MacroArchitecture
 from ..spec import MacroSpec
 from ..tech.process import GENERIC_40NM
+from ..verify.harness import DEFAULT_VECTORS
 from .cache import CACHE_SCHEMA_VERSION
 
 
@@ -39,6 +40,11 @@ class CompileJob:
     #: Signoff-corner *names* (resolved by the worker against the
     #: registered corners, like the process name); ``None`` = nominal.
     corners: Optional[Tuple[str, ...]] = None
+    #: Post-synthesis functional verification of the implemented
+    #: netlist (see :mod:`repro.verify`); the vector count steers the
+    #: stimulus schedule and so is part of the key.
+    verify: bool = False
+    verify_vectors: int = DEFAULT_VECTORS
 
     def payload(self) -> Dict[str, object]:
         return {
@@ -53,6 +59,8 @@ class CompileJob:
                 "corners": (
                     None if self.corners is None else list(self.corners)
                 ),
+                "verify": self.verify,
+                "verify_vectors": self.verify_vectors,
             },
         }
 
@@ -70,6 +78,8 @@ class ImplementJob:
     weight_sparsity: float = 0.0
     process_name: str = GENERIC_40NM.name
     corners: Optional[Tuple[str, ...]] = None
+    verify: bool = False
+    verify_vectors: int = DEFAULT_VECTORS
 
     def payload(self) -> Dict[str, object]:
         return {
@@ -83,6 +93,8 @@ class ImplementJob:
                 "corners": (
                     None if self.corners is None else list(self.corners)
                 ),
+                "verify": self.verify,
+                "verify_vectors": self.verify_vectors,
             },
         }
 

@@ -5,8 +5,11 @@ Commands
 ``search``   run only the multi-spec-oriented search and print the
              Pareto frontier;
 ``compile``  full performance-to-layout compilation with optional
-             Verilog/GDS export and (``--corners``) multi-corner PVT
-             signoff;
+             Verilog/GDS export, (``--corners``) multi-corner PVT
+             signoff and (``--verify``) netlist-vs-golden functional
+             verification;
+``verify``   compile, then batch-verify the implemented netlist
+             against the golden model and print the report;
 ``shmoo``    compile and sweep the voltage/frequency grid (Fig. 9
              style);
 ``sweep``    expand a range grammar over the spec axes into a design
@@ -18,6 +21,8 @@ Examples::
     python -m repro compile --height 64 --width 64 --mcr 2 \\
         --formats INT4 INT8 FP8 --frequency 800 --verilog macro.v
     python -m repro compile --corners SS,TT,FF   # 3-corner signoff
+    python -m repro compile --verify             # 4096-vector signoff
+    python -m repro verify --vectors 65536 --seed 7
     python -m repro sweep --height 32:128:x2 --frequency 400 800 -j 4
 """
 
@@ -93,12 +98,40 @@ def build_parser() -> argparse.ArgumentParser:
     p_compile = sub.add_parser("compile", help="full spec-to-layout run")
     _add_spec_args(p_compile)
     _add_corners_arg(p_compile)
+    _add_verify_args(p_compile)
     p_compile.add_argument("--verilog", help="write the netlist here")
     p_compile.add_argument("--gds", help="write the layout stream here")
     p_compile.add_argument(
         "--no-implement",
         action="store_true",
         help="stop after search + selection",
+    )
+
+    p_verify = sub.add_parser(
+        "verify",
+        help="compile, then batch-verify the netlist vs the golden model",
+        description=(
+            "Run the full compilation, then drive the implemented "
+            "netlist with randomized + directed corner stimuli through "
+            "the vectorized gate-level simulator and check every MAC "
+            "cycle against the behavioural model.  Exit code 1 on any "
+            "mismatch."
+        ),
+    )
+    _add_spec_args(p_verify)
+    p_verify.add_argument(
+        "--vectors", type=int, default=_DEFAULT_VERIFY_VECTORS,
+        help=f"MAC stimulus vectors to run "
+        f"(default {_DEFAULT_VERIFY_VECTORS})",
+    )
+    p_verify.add_argument(
+        "--seed", type=int, default=0,
+        help="stimulus seed (failures reproduce from it)",
+    )
+    p_verify.add_argument(
+        "--batch", type=int, default=None,
+        help="lanes simulated simultaneously (default: capped at 1024 "
+        "and sized so every weight format gets at least one round)",
     )
 
     p_shmoo = sub.add_parser("shmoo", help="compile then V/f shmoo")
@@ -153,6 +186,30 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+#: Mirrors :data:`repro.verify.harness.DEFAULT_VECTORS` as a literal —
+#: importing it would pull numpy into every CLI startup (including
+#: ``--help``); the cross-check lives in tests/test_verify.py.
+_DEFAULT_VERIFY_VECTORS = 4096
+
+
+def _add_verify_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="post-synthesis functional verification: drive the "
+        "implemented netlist with randomized + directed stimuli "
+        "against the golden model (mismatches fail the run)",
+    )
+    parser.add_argument(
+        "--verify-vectors",
+        type=int,
+        default=_DEFAULT_VERIFY_VECTORS,
+        metavar="N",
+        help=f"stimulus vectors for --verify "
+        f"(default {_DEFAULT_VERIFY_VECTORS})",
+    )
+
+
 def _add_corners_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--corners",
@@ -177,6 +234,7 @@ def _add_batch_exec_args(
     parser: argparse.ArgumentParser, default_output: str
 ) -> None:
     _add_corners_arg(parser)
+    _add_verify_args(parser)
     parser.add_argument(
         "-j", "--jobs", type=int, default=None,
         help="worker processes (default: CPU count)",
@@ -243,7 +301,10 @@ def _dispatch(args: argparse.Namespace) -> int:
 
     if args.command == "compile":
         result = compiler.compile(
-            spec, implement_design=not args.no_implement
+            spec,
+            implement_design=not args.no_implement,
+            verify=args.verify,
+            verify_vectors=args.verify_vectors,
         )
         print(result.report())
         impl = result.implementation
@@ -256,8 +317,27 @@ def _dispatch(args: argparse.Namespace) -> int:
                 with open(args.gds, "w") as fh:
                     fh.write(impl.gds())
                 print(f"wrote {args.gds}")
-            return 0 if impl.signoff_clean else 1
+            return 0 if impl.signoff_clean and impl.verification_clean else 1
         return 0
+
+    if args.command == "verify":
+        from .verify import verify_macro
+
+        result = compiler.compile(spec)
+        impl = result.implementation
+        assert impl is not None
+        report = verify_macro(
+            spec,
+            impl.arch,
+            netlist=impl.netlist,
+            shape=impl.shape,
+            library=compiler.library,
+            vectors=args.vectors,
+            seed=args.seed,
+            batch=args.batch,
+        )
+        print(report.describe())
+        return 0 if report.passed else 1
 
     if args.command == "shmoo":
         from .sim.shmoo import run_shmoo
@@ -404,6 +484,8 @@ def _execute_batch(specs: List[MacroSpec], args: argparse.Namespace) -> int:
         seed=args.seed,
         progress=progress,
         corners=None if corner_set is None else corner_set.names,
+        verify=args.verify,
+        verify_vectors=args.verify_vectors,
     )
     try:
         result = engine.compile_specs(

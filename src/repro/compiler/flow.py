@@ -41,6 +41,11 @@ from ..spec import MacroSpec
 from ..sta.analysis import TimingReport, analyze, minimum_period_ns
 from ..tech.process import GENERIC_40NM, Process
 from ..tech.stdcells import StdCellLibrary, default_library
+from ..verify.harness import (
+    DEFAULT_VECTORS,
+    VerificationReport,
+    verify_macro,
+)
 
 
 @dataclass
@@ -61,6 +66,9 @@ class Implementation:
     #: Multi-corner PVT signoff, present when the flow ran with a
     #: corner set; ``timing``/``power`` stay the nominal-point views.
     signoff: Optional[SignoffReport] = None
+    #: Functional verification of the optimized netlist against the
+    #: golden model, present when the flow ran with ``verify=True``.
+    verification: Optional["VerificationReport"] = None
 
     @property
     def timing_met_signoff(self) -> bool:
@@ -75,6 +83,12 @@ class Implementation:
         """DRC/LVS clean and timing met at the *worst* evaluated
         corner (nominal-only runs keep their historical meaning)."""
         return self.drc.clean and self.lvs.clean and self.timing_met_signoff
+
+    @property
+    def verification_clean(self) -> bool:
+        """Functional verification passed — vacuously true when the
+        flow ran without the ``verify=`` stage."""
+        return self.verification is None or self.verification.passed
 
     @property
     def worst_corner(self) -> Optional[str]:
@@ -135,6 +149,9 @@ class Implementation:
         if self.signoff is not None:
             lines.append("")
             lines.append(self.signoff.describe())
+        if self.verification is not None:
+            lines.append("")
+            lines.append(self.verification.describe())
         return "\n".join(lines)
 
 
@@ -169,6 +186,15 @@ class ImplementSession:
     #: compiled NetView, STA arrays and the nominal power analysis, so
     #: each extra corner costs one derated arrival propagation.
     corners: Optional[CornerSet] = None
+    #: Post-synthesis functional verification: drive the optimized
+    #: netlist with ``verify_vectors`` randomized + directed MAC
+    #: stimuli against the golden model (see :mod:`repro.verify`).
+    #: The report lands on :attr:`Implementation.verification`; a
+    #: mismatch never raises — it is signoff data, judged by
+    #: :attr:`Implementation.verification_clean`.
+    verify: bool = False
+    verify_vectors: int = DEFAULT_VECTORS
+    verify_seed: int = 0
     #: Pause cyclic GC for the duration of each implement() call (a
     #: bounded ~0.5 s operation whose allocation burst otherwise costs
     #: ~25 % of the runtime in generation-2 scans).  Embedders running
@@ -216,6 +242,35 @@ class ImplementSession:
             flat, synth_stats = optimize(flat, self.library, inplace=True)
             entry = self._netlists[arch] = (flat, shape, synth_stats)
         return entry
+
+    # -- verification ------------------------------------------------------
+
+    def verify_implementation(
+        self,
+        impl: Implementation,
+        vectors: Optional[int] = None,
+        seed: Optional[int] = None,
+    ) -> VerificationReport:
+        """Run the functional-verification stage on a finished
+        implementation and attach the report.
+
+        This is what the compiler's escalation loop calls *once* on the
+        implementation it actually returns — discarded timing-escalation
+        attempts never pay for verification (the session-level
+        ``verify=True`` flag, by contrast, verifies every
+        :meth:`implement` call).
+        """
+        report = verify_macro(
+            impl.spec,
+            impl.arch,
+            netlist=impl.netlist,
+            shape=impl.shape,
+            library=self.library,
+            vectors=self.verify_vectors if vectors is None else vectors,
+            seed=self.verify_seed if seed is None else seed,
+        )
+        impl.verification = report
+        return report
 
     # -- full flow ---------------------------------------------------------
 
@@ -274,6 +329,17 @@ class ImplementSession:
             input_stats=stats,
             wire_load=wire_load,
         )
+        verification: Optional[VerificationReport] = None
+        if self.verify:
+            verification = verify_macro(
+                spec,
+                arch,
+                netlist=flat,
+                shape=shape,
+                library=library,
+                vectors=self.verify_vectors,
+                seed=self.verify_seed,
+            )
         signoff = None
         if self.corners is not None:
             signoff = multi_corner_signoff(
@@ -299,6 +365,7 @@ class ImplementSession:
             power=power,
             min_period_ns=min_period,
             signoff=signoff,
+            verification=verification,
         )
         if impl.timing.met:
             # Failed attempts are essentially never revisited (the fix
@@ -319,6 +386,8 @@ def implement(
     input_sparsity: float = 0.0,
     weight_sparsity: float = 0.0,
     corners: Optional[CornerSet] = None,
+    verify: bool = False,
+    verify_vectors: int = DEFAULT_VECTORS,
 ) -> Implementation:
     """Run the complete implementation flow for one design point."""
     session = ImplementSession(
@@ -329,5 +398,7 @@ def implement(
         input_sparsity=input_sparsity,
         weight_sparsity=weight_sparsity,
         corners=corners,
+        verify=verify,
+        verify_vectors=verify_vectors,
     )
     return session.implement(arch)

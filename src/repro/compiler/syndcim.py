@@ -30,6 +30,7 @@ from ..signoff.corners import CornerSet
 from ..spec import MacroSpec, PPAWeights
 from ..tech.process import GENERIC_40NM, Process
 from ..tech.stdcells import StdCellLibrary, default_library
+from ..verify.harness import DEFAULT_VECTORS as DEFAULT_VERIFY_VECTORS
 from .flow import Implementation, ImplementSession, implement
 
 
@@ -126,12 +127,18 @@ class SynDCIM:
         implement_design: bool = True,
         input_sparsity: float = 0.0,
         weight_sparsity: float = 0.0,
+        verify: bool = False,
+        verify_vectors: int = DEFAULT_VERIFY_VECTORS,
     ) -> CompileResult:
         """Full performance-to-layout compilation.
 
         ``choose`` overrides the PPA-based selection with an explicit
         frontier architecture ("one is finally selected by the user",
-        Section III.A).
+        Section III.A).  ``verify=True`` adds the post-synthesis
+        functional-verification stage: the optimized netlist is driven
+        with ``verify_vectors`` randomized + directed MAC stimuli
+        against the golden model (see :mod:`repro.verify`), and the
+        report lands on ``implementation.verification``.
         """
         result = self.search(spec)
         if choose is not None:
@@ -151,7 +158,12 @@ class SynDCIM:
         impl = None
         if implement_design:
             impl = self._implement_with_escalation(
-                spec, selected.arch, input_sparsity, weight_sparsity
+                spec,
+                selected.arch,
+                input_sparsity,
+                weight_sparsity,
+                verify=verify,
+                verify_vectors=verify_vectors,
             )
         return CompileResult(
             spec=spec,
@@ -167,6 +179,8 @@ class SynDCIM:
         input_sparsity: float,
         weight_sparsity: float,
         max_attempts: int = 4,
+        verify: bool = False,
+        verify_vectors: int = DEFAULT_VERIFY_VECTORS,
     ) -> Implementation:
         """Implement; when post-layout STA misses (wires the LUT model
         could not see), escalate with the same fix families the searcher
@@ -181,6 +195,9 @@ class SynDCIM:
         """
         from ..search.fixes import MAC_FIXES, OFU_FIXES
 
+        # The session itself runs without the verify stage: escalation
+        # attempts that miss timing are discarded, so only the final
+        # implementation (below) pays for verification.
         session = ImplementSession(
             spec,
             library=self.library,
@@ -211,6 +228,8 @@ class SynDCIM:
                 break
             impl = session.implement(next_arch)
             attempts += 1
+        if verify:
+            session.verify_implementation(impl, vectors=verify_vectors)
         return impl
 
     def compile_cached(
@@ -220,6 +239,8 @@ class SynDCIM:
         implement_design: bool = True,
         input_sparsity: float = 0.0,
         weight_sparsity: float = 0.0,
+        verify: bool = False,
+        verify_vectors: int = DEFAULT_VERIFY_VECTORS,
     ) -> Dict[str, object]:
         """Compile to a JSON-serializable *record*, consulting a cache.
 
@@ -244,6 +265,8 @@ class SynDCIM:
             seed=self.seed,
             process_name=self.process.name,
             corners=None if self.corners is None else self.corners.names,
+            verify=verify,
+            verify_vectors=verify_vectors,
         )
         cache = cache or ResultCache()
         # The job key covers the spec, options and process name — not a
@@ -275,6 +298,8 @@ class SynDCIM:
                     implement_design=implement_design,
                     input_sparsity=input_sparsity,
                     weight_sparsity=weight_sparsity,
+                    verify=verify,
+                    verify_vectors=verify_vectors,
                 )
             ),
         )
@@ -321,6 +346,18 @@ def implementation_record(impl: Implementation) -> Dict[str, object]:
             "signoff_clean": impl.signoff_clean,
             "signoff": (
                 None if impl.signoff is None else impl.signoff.to_dict()
+            ),
+            # Functional verification (None when the flow ran without
+            # the verify stage; verified then reads None, not True).
+            "verified": (
+                None
+                if impl.verification is None
+                else impl.verification.passed
+            ),
+            "verification": (
+                None
+                if impl.verification is None
+                else impl.verification.to_dict()
             ),
         }
     )
@@ -450,6 +487,10 @@ def execute_job(payload: Dict[str, object]) -> Dict[str, object]:
                 input_sparsity=float(options.get("input_sparsity", 0.0)),  # type: ignore[arg-type]
                 weight_sparsity=float(options.get("weight_sparsity", 0.0)),  # type: ignore[arg-type]
                 corners=corners,
+                verify=bool(options.get("verify", False)),
+                verify_vectors=int(
+                    options.get("verify_vectors", DEFAULT_VERIFY_VECTORS)
+                ),
             )
             return dict(
                 _base_record(spec), implementation=implementation_record(impl)
@@ -460,6 +501,10 @@ def execute_job(payload: Dict[str, object]) -> Dict[str, object]:
                 implement_design=bool(options.get("implement", True)),
                 input_sparsity=float(options.get("input_sparsity", 0.0)),  # type: ignore[arg-type]
                 weight_sparsity=float(options.get("weight_sparsity", 0.0)),  # type: ignore[arg-type]
+                verify=bool(options.get("verify", False)),
+                verify_vectors=int(
+                    options.get("verify_vectors", DEFAULT_VERIFY_VECTORS)
+                ),  # type: ignore[arg-type]
             )
             return result_to_record(result)
         raise ValueError(f"unknown job type {job_type!r}")

@@ -1,5 +1,6 @@
 """Simulation: number formats, behavioural macro model, gate-level
-simulation, and the voltage/frequency shmoo engine.
+simulation (scalar reference and vectorized batch engine), and the
+voltage/frequency shmoo engine.
 
 See ``docs/architecture.md`` for how this package fits the
 spec-to-layout pipeline.
@@ -19,6 +20,7 @@ from .formats import (
 )
 from .functional import DCIMMacroModel, MacCycleTrace
 from .gatesim import GateSimulator
+from .vecsim import VecSim, pack_lanes, unpack_lanes
 from .shmoo import (
     DEFAULT_SIGMA,
     MeasuredEfficiency,
@@ -41,6 +43,9 @@ __all__ = [
     "DCIMMacroModel",
     "MacCycleTrace",
     "GateSimulator",
+    "VecSim",
+    "pack_lanes",
+    "unpack_lanes",
     "DEFAULT_SIGMA",
     "MeasuredEfficiency",
     "ShmooResult",

@@ -43,11 +43,19 @@ class GateSimulator:
         for inst in self.module.instances:
             cell = self.library.cell(inst.cell_name)
             if cell.is_sequential:
-                self._seq.append(inst)
                 q = inst.conn.get("Q")
-                if q:
-                    resolved.add(q)
-                    self._state[inst.name] = 0
+                if not q:
+                    # A flop without a Q connection has invisible state:
+                    # treating it as resolved-less silently detaches its
+                    # fan-out cone from the clock.  Refuse loudly.
+                    raise SimulationError(
+                        f"{self.module.name}: sequential cell {inst.name} "
+                        f"({inst.cell_name}) has no Q connection — its "
+                        "state would be invisible to the fabric"
+                    )
+                self._seq.append(inst)
+                resolved.add(q)
+                self._state[inst.name] = 0
                 continue
             if cell.is_memory:
                 rd = inst.conn.get("RD")

@@ -1,0 +1,601 @@
+"""Vectorized batch gate-level simulator.
+
+:class:`VecSim` evaluates **B stimulus vectors simultaneously** over one
+flat netlist, packing the batch as bit-parallel uint64 words (lane *b*
+of a net lives in bit ``b % 64`` of word ``b // 64``).  Every cell's
+logic function is expressed as a handful of bitwise numpy operations
+over whole instance groups, so one evaluation pass costs a few hundred
+vectorized kernel calls instead of one Python dict-walk per cell per
+vector — the same NetView-index treatment the STA/activity/power
+kernels received, applied to simulation.
+
+Semantics mirror :class:`repro.sim.gatesim.GateSimulator` (the pinned
+scalar reference) bit for bit:
+
+* combinational cells are levelized once (cycle ⇒ :class:`SimulationError`);
+* sequential cells get master-slave semantics on :meth:`clock` (all D
+  sampled, then all Q updated); a sequential cell without a ``Q``
+  connection raises loudly;
+* memory-cell read nets are resolved roots, driven by the testbench;
+* nets can be *forced* (per-lane values override any driver).
+
+The compile step groups instances by (topological level, cell type) and
+stacks their pin tables into integer gather/scatter matrices.  Cells
+whose scalar logic function is one of the library's known functions get
+a hand-written bitwise kernel; any other function falls back to an
+automatically derived sum-of-minterms kernel over its truth table, so
+custom cells simulate correctly without registration.
+
+Evaluation is lazy: stimulus changes only mark the fabric dirty, and
+propagation runs when state is sampled or observed.  This halves the
+passes per clock relative to the eager scalar simulator without any
+observable difference (propagation is a pure function of inputs, state
+and forced nets).
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..rtl.netview import net_view
+from ..tech import stdcells as _std
+from ..tech.stdcells import Cell, StdCellLibrary
+
+_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+BatchValue = Union[int, Sequence[int], np.ndarray]
+
+
+# ---------------------------------------------------------------------------
+# Bitwise kernels.
+#
+# A kernel takes the gathered input tensor ``inp`` of shape
+# (instances, pins, words) — pins in the cell's ``input_caps_ff`` order
+# — and returns one (instances, words) uint64 array per output pin, in
+# the cell's ``outputs`` order.
+# ---------------------------------------------------------------------------
+
+
+def _k_inv(i):
+    return (~i[:, 0],)
+
+
+def _k_buf(i):
+    return (i[:, 0],)
+
+
+def _k_nand2(i):
+    return (~(i[:, 0] & i[:, 1]),)
+
+
+def _k_nor2(i):
+    return (~(i[:, 0] | i[:, 1]),)
+
+
+def _k_and2(i):
+    return (i[:, 0] & i[:, 1],)
+
+
+def _k_or2(i):
+    return (i[:, 0] | i[:, 1],)
+
+
+def _k_xor2(i):
+    return (i[:, 0] ^ i[:, 1],)
+
+
+def _k_xnor2(i):
+    return (~(i[:, 0] ^ i[:, 1]),)
+
+
+def _k_aoi22(i):
+    return (~((i[:, 0] & i[:, 1]) | (i[:, 2] & i[:, 3])),)
+
+
+def _k_oai22(i):
+    return (~((i[:, 0] | i[:, 1]) & (i[:, 2] | i[:, 3])),)
+
+
+def _k_mux2(i):
+    d0, d1, s = i[:, 0], i[:, 1], i[:, 2]
+    return ((s & d1) | (~s & d0),)
+
+
+def _k_ha(i):
+    a, b = i[:, 0], i[:, 1]
+    return (a ^ b, a & b)
+
+
+def _k_fa(i):
+    a, b, ci = i[:, 0], i[:, 1], i[:, 2]
+    axb = a ^ b
+    return (axb ^ ci, (a & b) | (ci & axb))
+
+
+def _k_cmp42(i):
+    a, b, c, d, ci = i[:, 0], i[:, 1], i[:, 2], i[:, 3], i[:, 4]
+    s3 = a ^ b ^ c
+    co = (a & b) | (b & c) | (a & c)
+    s3xd = s3 ^ d
+    s = s3xd ^ ci
+    cy = (s3 & d) | (ci & s3xd)
+    return (s, cy, co)
+
+
+def _k_tie0(i):
+    return (np.zeros((i.shape[0], i.shape[2]), dtype=np.uint64),)
+
+
+def _k_tie1(i):
+    return (np.full((i.shape[0], i.shape[2]), _ONES, dtype=np.uint64),)
+
+
+#: Known scalar logic functions → (expected input-pin order, expected
+#: output order, kernel).  The pin orders guard against a custom cell
+#: reusing a library function with reordered pins — any mismatch falls
+#: back to the derived truth-table kernel.
+_SPECIALIZED = {
+    _std._inv: (("A",), ("Y",), _k_inv),
+    _std._buf: (("A",), ("Y",), _k_buf),
+    _std._nand2: (("A", "B"), ("Y",), _k_nand2),
+    _std._nor2: (("A", "B"), ("Y",), _k_nor2),
+    _std._and2: (("A", "B"), ("Y",), _k_and2),
+    _std._or2: (("A", "B"), ("Y",), _k_or2),
+    _std._xor2: (("A", "B"), ("Y",), _k_xor2),
+    _std._xnor2: (("A", "B"), ("Y",), _k_xnor2),
+    _std._aoi22: (("A", "B", "C", "D"), ("Y",), _k_aoi22),
+    _std._oai22: (("A", "B", "C", "D"), ("Y",), _k_oai22),
+    _std._mux2: (("D0", "D1", "S"), ("Y",), _k_mux2),
+    _std._ha: (("A", "B"), ("S", "CO"), _k_ha),
+    _std._fa: (("A", "B", "CI"), ("S", "CO"), _k_fa),
+    _std._cmp42: (("A", "B", "C", "D", "CI"), ("S", "CY", "CO"), _k_cmp42),
+    _std._tie0: ((), ("Y",), _k_tie0),
+    _std._tie1: ((), ("Y",), _k_tie1),
+}
+
+
+def _truth_table_kernel(cell: Cell):
+    """Sum-of-minterms kernel derived from the cell's scalar function.
+
+    Enumerates the 2^k input assignments once at compile time; the
+    kernel is then pure bitwise numpy.  Handles any combinational cell
+    with a logic function, at worst 2^k AND/OR terms per output.
+    """
+    pins = tuple(cell.input_caps_ff)
+    k = len(pins)
+    minterms: List[List[Tuple[int, ...]]] = [[] for _ in cell.outputs]
+    for assignment in product((0, 1), repeat=k):
+        outs = cell.evaluate(dict(zip(pins, assignment)))
+        for oi, opin in enumerate(cell.outputs):
+            if outs.get(opin, 0):
+                minterms[oi].append(assignment)
+
+    def kernel(inp):
+        n, _, w = inp.shape
+        results = []
+        for terms in minterms:
+            acc = np.zeros((n, w), dtype=np.uint64)
+            for assignment in terms:
+                term: Optional[np.ndarray] = None
+                for pin_i, bit in enumerate(assignment):
+                    col = inp[:, pin_i] if bit else ~inp[:, pin_i]
+                    term = col if term is None else term & col
+                if term is None:  # zero-input cell, constant-1 output
+                    term = np.full((n, w), _ONES, dtype=np.uint64)
+                acc |= term
+            results.append(acc)
+        return tuple(results)
+
+    return kernel
+
+
+def _kernel_for(cell: Cell):
+    entry = _SPECIALIZED.get(cell.function)
+    if entry is not None:
+        pins, outs, kernel = entry
+        if tuple(cell.input_caps_ff) == pins and cell.outputs == outs:
+            return kernel
+    if cell.function is None:
+        raise SimulationError(f"{cell.name} has no logic function")
+    return _truth_table_kernel(cell)
+
+
+# ---------------------------------------------------------------------------
+# Batch packing helpers.
+# ---------------------------------------------------------------------------
+
+
+def pack_lanes(bits: np.ndarray, words: int) -> np.ndarray:
+    """Pack 0/1 lane values into uint64 words, lane ``b`` → bit ``b%64``
+    of word ``b//64``.  ``bits`` is (..., B); returns (..., words)."""
+    arr = np.ascontiguousarray(bits, dtype=np.uint8)
+    packed = np.packbits(arr, axis=-1, bitorder="little")
+    out = np.zeros(arr.shape[:-1] + (words * 8,), dtype=np.uint8)
+    out[..., : packed.shape[-1]] = packed
+    return out.view("<u8")
+
+
+def unpack_lanes(words_arr: np.ndarray, batch: int) -> np.ndarray:
+    """Inverse of :func:`pack_lanes`: (..., W) words → (..., batch) bits."""
+    as_bytes = np.ascontiguousarray(words_arr).astype("<u8").view(np.uint8)
+    bits = np.unpackbits(as_bytes, axis=-1, bitorder="little")
+    return bits[..., :batch]
+
+
+class VecSim:
+    """Simulate one flat module over a batch of stimulus vectors.
+
+    Parameters
+    ----------
+    module:
+        A *flat* module (hierarchical instances raise).
+    library:
+        Cell library supplying logic functions.
+    batch:
+        Number of simultaneous stimulus lanes ``B``.
+
+    Lane-indexed arguments accept either a scalar (broadcast to every
+    lane) or a length-``B`` sequence of 0/1 values.
+    """
+
+    def __init__(
+        self, module, library: StdCellLibrary, batch: int = 64
+    ) -> None:
+        if batch < 1:
+            raise SimulationError(f"batch must be positive, got {batch}")
+        self.module = module
+        self.library = library
+        self.batch = int(batch)
+        self.words = (self.batch + 63) // 64
+        view = net_view(module, library)
+        self._view = view
+        self._nid = view.net_id
+        n = view.n_nets
+        #: Two scratch rows past the real nets: a constant-zero source
+        #: for unconnected input pins and a write sink for unconnected
+        #: output pins.
+        self._zero_row = n
+        self._trash_row = n + 1
+        self._values = np.zeros((n + 2, self.words), dtype=np.uint64)
+        self._forced: Dict[int, np.ndarray] = {}
+        self._forced_ids = np.empty(0, dtype=np.int64)
+        self._forced_vals = np.empty((0, self.words), dtype=np.uint64)
+        self._forced_mid_ids = np.empty(0, dtype=np.int64)
+        self._forced_mid_vals = np.empty((0, self.words), dtype=np.uint64)
+        self._forced_stale = False
+        self._dirty = True
+        self._compile()
+
+    # -- compilation ---------------------------------------------------------
+
+    def _compile(self) -> None:
+        view = self._view
+        module = self.module
+        resolved: set = {self._nid[p] for p in module.input_ports}
+        seq_idx: List[int] = []
+        for idx, cell in enumerate(view.cells):
+            if cell.is_sequential:
+                q_pos = cell.outputs.index("Q") if "Q" in cell.outputs else -1
+                q = view.out_ids[idx][q_pos] if q_pos >= 0 else -1
+                if q < 0:
+                    inst = module.instances[idx]
+                    raise SimulationError(
+                        f"{module.name}: sequential cell {inst.name} "
+                        f"({cell.name}) has no Q connection — its state "
+                        "would be invisible to the fabric"
+                    )
+                resolved.add(q)
+                seq_idx.append(idx)
+            elif cell.is_memory:
+                for out in view.out_ids[idx]:
+                    if out >= 0:
+                        resolved.add(out)
+
+        # Sequential pin tables: D may be absent (state holds), Q exists.
+        d_ids = []
+        q_ids = []
+        for idx in seq_idx:
+            cell = view.cells[idx]
+            pins = tuple(cell.input_caps_ff)
+            d_pos = pins.index("D") if "D" in pins else -1
+            d_ids.append(view.in_ids[idx][d_pos] if d_pos >= 0 else -1)
+            q_ids.append(view.out_ids[idx][cell.outputs.index("Q")])
+        self._d_ids = np.asarray(d_ids, dtype=np.int64)
+        self._q_ids = np.asarray(q_ids, dtype=np.int64)
+        self._q_id_set = frozenset(int(q) for q in q_ids)
+        self._state = np.zeros((len(seq_idx), self.words), dtype=np.uint64)
+
+        # Kahn levelization over integer net ids, mirroring the scalar
+        # simulator's pass (including its per-pin indegree accounting).
+        cells = view.cells
+        in_ids = view.in_ids
+        out_ids = view.out_ids
+        indegree: Dict[int, int] = {}
+        consumers: Dict[int, List[int]] = {}
+        schedule_members: List[int] = []
+        expected = 0
+        for idx, cell in enumerate(cells):
+            if cell.is_sequential or cell.is_memory:
+                continue
+            expected += 1
+            missing = 0
+            for net in in_ids[idx]:
+                if net >= 0 and net not in resolved:
+                    missing += 1
+                    consumers.setdefault(net, []).append(idx)
+            indegree[idx] = missing
+        from collections import deque
+
+        queue = deque(idx for idx, deg in indegree.items() if deg == 0)
+        net_level: Dict[int, int] = {net: 0 for net in resolved}
+        inst_level: Dict[int, int] = {}
+        seen_nets = set(resolved)
+        while queue:
+            idx = queue.popleft()
+            schedule_members.append(idx)
+            level = 0
+            for net in in_ids[idx]:
+                if net >= 0:
+                    level = max(level, net_level.get(net, 0))
+            inst_level[idx] = level
+            for net in out_ids[idx]:
+                if net < 0 or net in seen_nets:
+                    continue
+                seen_nets.add(net)
+                net_level[net] = level + 1
+                for consumer in consumers.get(net, ()):
+                    indegree[consumer] -= 1
+                    if indegree[consumer] == 0:
+                        queue.append(consumer)
+        if len(schedule_members) != expected:
+            raise SimulationError(
+                f"levelization failed: {len(schedule_members)} of "
+                f"{expected} combinational cells ordered (cycle?)"
+            )
+
+        # Group by (level, cell ref) and stack the pin tables.
+        grouping: Dict[Tuple[int, str], List[int]] = {}
+        for idx in schedule_members:
+            grouping.setdefault(
+                (inst_level[idx], cells[idx].name), []
+            ).append(idx)
+        kernels: Dict[str, object] = {}
+        max_level = max((lv for lv, _ in grouping), default=-1)
+        levels: List[List[tuple]] = [[] for _ in range(max_level + 1)]
+        for (level, ref), idxs in sorted(grouping.items()):
+            cell = cells[idxs[0]]
+            kernel = kernels.get(ref)
+            if kernel is None:
+                kernel = kernels[ref] = _kernel_for(cell)
+            gather = np.asarray(
+                [in_ids[i] for i in idxs], dtype=np.int64
+            ).reshape(len(idxs), len(cell.input_caps_ff))
+            gather[gather < 0] = self._zero_row
+            scatter = np.asarray(
+                [out_ids[i] for i in idxs], dtype=np.int64
+            ).reshape(len(idxs), len(cell.outputs))
+            scatter[scatter < 0] = self._trash_row
+            levels[level].append((kernel, gather, scatter))
+        self._levels = levels
+        #: Nets whose value is testbench-owned (never written by the
+        #: fabric): input ports and memory read nets.  The boolean mask
+        #: lets the bulk drive path validate whole id arrays at once.
+        self._free_nets = frozenset(resolved) - self._q_id_set
+        self._free_mask = np.zeros(self._values.shape[0], dtype=bool)
+        self._free_mask[list(self._free_nets)] = True
+
+    @property
+    def n_levels(self) -> int:
+        return len(self._levels)
+
+    # -- stimulus ------------------------------------------------------------
+
+    def _pack(self, value: BatchValue) -> np.ndarray:
+        if isinstance(value, (int, np.integer, bool)):
+            word = _ONES if value else np.uint64(0)
+            return np.full(self.words, word, dtype=np.uint64)
+        bits = np.asarray(value)
+        if bits.shape != (self.batch,):
+            raise SimulationError(
+                f"expected a scalar or {self.batch} lane values, "
+                f"got shape {bits.shape}"
+            )
+        return pack_lanes(bits != 0, self.words)
+
+    def net_id(self, net: str) -> int:
+        try:
+            return self._nid[net]
+        except KeyError:
+            raise SimulationError(f"unknown net {net}") from None
+
+    def set_input(self, net: str, value: BatchValue) -> None:
+        """Drive a port with a scalar (broadcast) or per-lane values."""
+        if net not in self.module.ports:
+            raise SimulationError(f"{net} is not a port")
+        self._values[self._nid[net]] = self._pack(value)
+        self._dirty = True
+
+    def set_bus(self, base: str, value_bits: Sequence[BatchValue]) -> None:
+        for i, bit in enumerate(value_bits):
+            self.set_input(f"{base}[{i}]", bit)
+
+    def set_bus_int(
+        self, base: str, values: BatchValue, width: int
+    ) -> None:
+        """Drive ``base[0..width-1]`` with per-lane two's-complement
+        integers (scalar broadcast accepted)."""
+        vals = np.asarray(values, dtype=np.int64)
+        if vals.ndim == 0:
+            vals = np.full(self.batch, int(vals), dtype=np.int64)
+        if vals.shape != (self.batch,):
+            raise SimulationError(
+                f"expected a scalar or {self.batch} values, got "
+                f"shape {vals.shape}"
+            )
+        lo, hi = -(1 << (width - 1)), (1 << (width - 1)) - 1
+        if vals.min() < lo or vals.max() > hi:
+            raise SimulationError(f"values exceed INT{width} range")
+        bits = (vals[None, :] >> np.arange(width)[:, None]) & 1
+        ids = np.asarray(
+            [self.net_id(f"{base}[{i}]") for i in range(width)],
+            dtype=np.int64,
+        )
+        for i in range(width):
+            if f"{base}[{i}]" not in self.module.ports:
+                raise SimulationError(f"{base}[{i}] is not a port")
+        self._values[ids] = pack_lanes(bits.astype(np.uint8), self.words)
+        self._dirty = True
+
+    def drive_nets(
+        self, net_ids: np.ndarray, bits: np.ndarray
+    ) -> None:
+        """Bulk-drive *free* nets (ports or memory read nets) by id.
+
+        ``bits`` is (len(net_ids),) scalar-per-net (broadcast across
+        lanes) or (len(net_ids), batch) per-lane.  This is the hot path
+        for loading thousands of weight nets per verification round.
+        """
+        ids = np.asarray(net_ids, dtype=np.int64)
+        if not self._free_mask[ids].all():
+            bad = int(ids[~self._free_mask[ids]][0])
+            raise SimulationError(
+                f"net {self._view.net_names[bad]} is fabric-driven; "
+                "use force() to override a driver"
+            )
+        bits = np.asarray(bits)
+        if bits.shape == (len(ids),):
+            words = np.where(
+                bits.astype(bool)[:, None], _ONES, np.uint64(0)
+            ).astype(np.uint64)
+        elif bits.shape == (len(ids), self.batch):
+            words = pack_lanes(bits != 0, self.words)
+        else:
+            raise SimulationError(
+                f"bits shape {bits.shape} matches neither (n,) nor "
+                f"(n, {self.batch})"
+            )
+        self._values[ids] = words
+        self._dirty = True
+
+    def force(self, net: str, value: BatchValue) -> None:
+        """Pin a net to per-lane values (overrides any driver)."""
+        self._forced[self.net_id(net)] = self._pack(value)
+        self._forced_stale = True
+        self._dirty = True
+
+    def release(self, net: str) -> None:
+        if self._forced.pop(self.net_id(net), None) is not None:
+            self._forced_stale = True
+            self._dirty = True
+
+    def reset_state(self, value: int = 0) -> None:
+        self._state[:] = _ONES if value else np.uint64(0)
+        self._dirty = True
+
+    # -- evaluation ----------------------------------------------------------
+
+    def _refresh_forced(self) -> None:
+        ids = sorted(self._forced)
+        self._forced_ids = np.asarray(ids, dtype=np.int64)
+        self._forced_vals = (
+            np.stack([self._forced[i] for i in ids])
+            if ids
+            else np.empty((0, self.words), dtype=np.uint64)
+        )
+        mid = [i for i in ids if i not in self._q_id_set]
+        self._forced_mid_ids = np.asarray(mid, dtype=np.int64)
+        self._forced_mid_vals = (
+            np.stack([self._forced[i] for i in mid])
+            if mid
+            else np.empty((0, self.words), dtype=np.uint64)
+        )
+        self._forced_stale = False
+
+    def evaluate(self) -> None:
+        """Propagate combinational logic from current inputs/state."""
+        self._propagate()
+
+    def _ensure(self) -> None:
+        if self._dirty:
+            self._propagate()
+
+    def _propagate(self) -> None:
+        if self._forced_stale:
+            self._refresh_forced()
+        v = self._values
+        forced = self._forced_ids.size > 0
+        # Mirror the scalar order: forced values land first, then the
+        # sequential state overwrites (a forced Q reads as state during
+        # propagation), then each level runs with forced nets
+        # re-asserted so consumers always read the forced value, and a
+        # final pass makes the forced values observable.
+        if forced:
+            v[self._forced_ids] = self._forced_vals
+        if len(self._state):
+            v[self._q_ids] = self._state
+        mid = self._forced_mid_ids.size > 0
+        for ops in self._levels:
+            for kernel, gather, scatter in ops:
+                outs = kernel(v[gather])
+                for j in range(scatter.shape[1]):
+                    v[scatter[:, j]] = outs[j]
+            if mid:
+                v[self._forced_mid_ids] = self._forced_mid_vals
+        if forced:
+            v[self._forced_ids] = self._forced_vals
+        v[self._zero_row] = 0
+        self._dirty = False
+
+    def clock(self) -> None:
+        """One rising edge: sample every D, then update every Q.
+
+        The post-edge propagation is deferred until the next
+        observation or clock (identical results, half the passes)."""
+        self._ensure()
+        if len(self._state):
+            d = self._d_ids
+            safe = np.where(d >= 0, d, self._zero_row)
+            sampled = self._values[safe]
+            hold = d < 0
+            if hold.any():
+                sampled[hold] = self._state[hold]
+            self._state = sampled
+            self._dirty = True
+
+    # -- observation ---------------------------------------------------------
+
+    def net(self, net: str) -> np.ndarray:
+        """Per-lane values of one net, shape (batch,) uint8."""
+        self._ensure()
+        return unpack_lanes(self._values[self.net_id(net)], self.batch)
+
+    def bus(self, base: str, width: int) -> np.ndarray:
+        """Per-lane bus bits, shape (batch, width), LSB first."""
+        self._ensure()
+        ids = np.asarray(
+            [self.net_id(f"{base}[{i}]") for i in range(width)],
+            dtype=np.int64,
+        )
+        return unpack_lanes(self._values[ids], self.batch).T
+
+    def bus_int(self, base: str, width: int) -> np.ndarray:
+        """Per-lane two's-complement bus values, shape (batch,) int64."""
+        bits = self.bus(base, width).astype(np.int64)
+        weights = (1 << np.arange(width, dtype=np.int64)).copy()
+        weights[-1] = -weights[-1]
+        return bits @ weights
+
+    def bus_ids_int(self, ids: np.ndarray) -> np.ndarray:
+        """Two's-complement decode over precomputed net ids (LSB first);
+        the bulk-observation twin of :meth:`bus_int`."""
+        self._ensure()
+        ids = np.asarray(ids, dtype=np.int64)
+        bits = unpack_lanes(self._values[ids], self.batch).T.astype(np.int64)
+        width = ids.shape[0]
+        weights = (1 << np.arange(width, dtype=np.int64)).copy()
+        weights[-1] = -weights[-1]
+        return bits @ weights
