@@ -21,6 +21,9 @@ Absolute invariants (not ratios — these hold on any machine):
 * ``signoff_corner_ratio`` <= 2.0 — a warm 3-corner run costs less
   than twice a single-corner run (the multi-corner subsystem's
   acceptance contract);
+* ``scl_warm_multivt_ratio`` <= 3.0 — the warm ``default_scl()`` load
+  with the full Vt x drive variant grid stays under 3x the single-Vt
+  warm load (the multi-Vt library's acceptance contract);
 * ``signoff_ss_clean`` — the quickstart macro signs off at SS;
 * ``vecsim_speedup`` >= 100 — the vectorized batch verifier stays at
   least 100x faster per vector than the scalar simulator (same-machine
@@ -55,7 +58,10 @@ GUARDED = (
 )
 
 #: Machine-independent invariants: (metric, max allowed value).
-RATIO_CEILINGS = (("signoff_corner_ratio", 2.0),)
+RATIO_CEILINGS = (
+    ("signoff_corner_ratio", 2.0),
+    ("scl_warm_multivt_ratio", 3.0),
+)
 
 #: Machine-independent invariants: (metric, min allowed value).
 #: ``vecsim_speedup`` is the batch-verification engine's acceptance

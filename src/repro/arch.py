@@ -65,6 +65,11 @@ class MacroArchitecture:
         area/power premium.
     driver_strength:
         BUF_X drive (2/4/8) of the word-line drivers.
+    vt:
+        Threshold-voltage flavor the combinational logic is mapped to
+        (see :data:`repro.tech.stdcells.VT_FLAVORS`).  Registers and
+        bitcells always stay svt — their costs come from calibrated
+        constants the estimator does not re-scale per flavor.
     """
 
     memcell: str = "DCIM6T"
@@ -79,6 +84,7 @@ class MacroArchitecture:
     ofu_retimed: bool = False
     ofu_csel: bool = False
     driver_strength: int = 4
+    vt: str = "svt"
 
     def __post_init__(self) -> None:
         if self.memcell not in MEMCELLS:
@@ -98,6 +104,12 @@ class MacroArchitecture:
         if self.driver_strength not in DRIVER_STRENGTHS:
             raise SpecificationError(
                 f"driver_strength must be one of {DRIVER_STRENGTHS}"
+            )
+        from .tech.stdcells import VT_FLAVORS
+
+        if self.vt not in VT_FLAVORS:
+            raise SpecificationError(
+                f"vt must be one of {tuple(sorted(VT_FLAVORS))}"
             )
 
     def validate_against(self, spec: MacroSpec) -> None:
@@ -153,6 +165,8 @@ class MacroArchitecture:
             + ("c" if self.ofu_csel else ""),
             f"drv{self.driver_strength}",
         ]
+        if self.vt != "svt":
+            parts.append(self.vt)
         return "/".join(parts)
 
 

@@ -35,7 +35,9 @@ from typing import Dict, Optional
 #: v3: records carry functional-verification results
 #: (``implementation.verified`` / ``implementation.verification``) and
 #: jobs key the verify options.
-CACHE_SCHEMA_VERSION = 3
+#: v4: multi-Vt — architectures carry a ``vt`` knob, compile jobs key
+#: the vt policy, implement jobs key the leakage-recovery flag.
+CACHE_SCHEMA_VERSION = 4
 
 
 def _unlink_quietly(path: str) -> None:

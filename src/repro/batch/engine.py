@@ -144,6 +144,7 @@ class BatchCompiler:
         corners: Optional[Sequence[str]] = None,
         verify: bool = False,
         verify_vectors: int = DEFAULT_VECTORS,
+        vt: str = "svt",
     ) -> None:
         self.jobs = max(1, jobs if jobs is not None else (os.cpu_count() or 1))
         if use_cache:
@@ -156,6 +157,8 @@ class BatchCompiler:
         self.corners = None if corners is None else tuple(corners)
         self.verify = verify
         self.verify_vectors = verify_vectors
+        #: Threshold-flavor policy forwarded to every compile job.
+        self.vt = vt
         self.progress = progress
 
     # -- job construction ---------------------------------------------------
@@ -179,6 +182,7 @@ class BatchCompiler:
                     corners=self.corners,
                     verify=self.verify,
                     verify_vectors=self.verify_vectors,
+                    vt=self.vt,
                 )
                 for spec in specs
             ]

@@ -45,6 +45,10 @@ class CompileJob:
     #: stimulus schedule and so is part of the key.
     verify: bool = False
     verify_vectors: int = DEFAULT_VECTORS
+    #: Threshold-flavor policy (``svt``/``hvt``/``lvt``/``ulvt`` or
+    #: ``auto``); steers the search moves and leakage recovery, so it
+    #: is part of the key.
+    vt: str = "svt"
 
     def payload(self) -> Dict[str, object]:
         return {
@@ -61,6 +65,7 @@ class CompileJob:
                 ),
                 "verify": self.verify,
                 "verify_vectors": self.verify_vectors,
+                "vt": self.vt,
             },
         }
 
@@ -80,6 +85,10 @@ class ImplementJob:
     corners: Optional[Tuple[str, ...]] = None
     verify: bool = False
     verify_vectors: int = DEFAULT_VECTORS
+    #: Netlist-level hvt leakage recovery during implementation (the
+    #: implement-only face of ``--vt auto``).  The architecture's own
+    #: ``vt`` knob travels in ``arch``.
+    vt_recovery: bool = False
 
     def payload(self) -> Dict[str, object]:
         return {
@@ -95,6 +104,7 @@ class ImplementJob:
                 ),
                 "verify": self.verify,
                 "verify_vectors": self.verify_vectors,
+                "vt_recovery": self.vt_recovery,
             },
         }
 

@@ -21,6 +21,8 @@ Examples::
     python -m repro compile --height 64 --width 64 --mcr 2 \\
         --formats INT4 INT8 FP8 --frequency 800 --verilog macro.v
     python -m repro compile --corners SS,TT,FF   # 3-corner signoff
+    python -m repro compile --vt auto --lib-out macro.lib
+    python -m repro compile --lib-in vendor.lib  # external library
     python -m repro compile --verify             # 4096-vector signoff
     python -m repro verify --vectors 65536 --seed 7
     python -m repro sweep --height 32:128:x2 --frequency 400 800 -j 4
@@ -94,13 +96,27 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_search = sub.add_parser("search", help="search only; print frontier")
     _add_spec_args(p_search)
+    _add_vt_arg(p_search)
 
     p_compile = sub.add_parser("compile", help="full spec-to-layout run")
     _add_spec_args(p_compile)
+    _add_vt_arg(p_compile)
     _add_corners_arg(p_compile)
     _add_verify_args(p_compile)
     p_compile.add_argument("--verilog", help="write the netlist here")
     p_compile.add_argument("--gds", help="write the layout stream here")
+    p_compile.add_argument(
+        "--lib-in",
+        metavar="LIB",
+        help="compile against the cell library parsed from this "
+        "Liberty (.lib) file instead of the built-in library",
+    )
+    p_compile.add_argument(
+        "--lib-out",
+        metavar="LIB",
+        help="characterize the cell library in use and write it here "
+        "as Liberty text (round-trips through --lib-in)",
+    )
     p_compile.add_argument(
         "--no-implement",
         action="store_true",
@@ -210,6 +226,18 @@ def _add_verify_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_vt_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--vt",
+        choices=("svt", "hvt", "lvt", "ulvt", "auto"),
+        default="svt",
+        help="threshold-voltage flavor for the logic fabric: a fixed "
+        "flavor pins every laddered cell, 'auto' lets the search trade "
+        "Vt against worst-corner slack and recovers leakage on the "
+        "final netlist (default svt)",
+    )
+
+
 def _add_corners_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--corners",
@@ -233,6 +261,7 @@ def _parse_corners_arg(args: argparse.Namespace):
 def _add_batch_exec_args(
     parser: argparse.ArgumentParser, default_output: str
 ) -> None:
+    _add_vt_arg(parser)
     _add_corners_arg(parser)
     _add_verify_args(parser)
     parser.add_argument(
@@ -291,7 +320,22 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _run_batch_file(args)
 
     spec = _spec_from_args(args)
-    compiler = SynDCIM(corners=_parse_corners_arg(args))
+    library = None
+    if getattr(args, "lib_in", None):
+        from .tech.liberty import read_liberty_library
+
+        library = read_liberty_library(args.lib_in)
+    compiler = SynDCIM(
+        library=library,
+        corners=_parse_corners_arg(args),
+        vt=getattr(args, "vt", "svt"),
+    )
+    if getattr(args, "lib_out", None):
+        from .tech.liberty import export_liberty
+
+        with open(args.lib_out, "w") as fh:
+            fh.write(export_liberty(compiler.library, compiler.process))
+        print(f"wrote {args.lib_out}")
 
     if args.command == "search":
         result = compiler.search(spec)
@@ -486,6 +530,7 @@ def _execute_batch(specs: List[MacroSpec], args: argparse.Namespace) -> int:
         corners=None if corner_set is None else corner_set.names,
         verify=args.verify,
         verify_vectors=args.verify_vectors,
+        vt=getattr(args, "vt", "svt"),
     )
     try:
         result = engine.compile_specs(

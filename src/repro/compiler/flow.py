@@ -195,6 +195,13 @@ class ImplementSession:
     verify: bool = False
     verify_vectors: int = DEFAULT_VECTORS
     verify_seed: int = 0
+    #: Netlist-level leakage recovery (``--vt auto``): after synthesis,
+    #: combinational cells with setup slack to spare at the worst
+    #: signoff derate are demoted to hvt (see
+    #: :func:`repro.synth.vt.recover_leakage`).  The slack check runs
+    #: pre-placement against a wire-derated period budget, so the
+    #: post-layout wires the placer adds stay covered.
+    vt_recovery: bool = False
     #: Pause cyclic GC for the duration of each implement() call (a
     #: bounded ~0.5 s operation whose allocation burst otherwise costs
     #: ~25 % of the runtime in generation-2 scans).  Embedders running
@@ -239,9 +246,33 @@ class ImplementSession:
             # the passes may rewrite it in place (no bulk copy).
             # ``optimize`` validates its output, which covers the flat
             # netlist the rest of the flow consumes.
-            flat, synth_stats = optimize(flat, self.library, inplace=True)
+            flat, synth_stats = optimize(
+                flat,
+                self.library,
+                inplace=True,
+                vt=None if arch.vt == "svt" else arch.vt,
+            )
+            if self.vt_recovery:
+                synth_stats["vt_recovered"] = self._recover_leakage(flat)
             entry = self._netlists[arch] = (flat, shape, synth_stats)
         return entry
+
+    def _recover_leakage(self, flat: Module) -> int:
+        """Demote slack-rich combinational cells to hvt, budgeting for
+        post-layout wires and the worst signoff corner."""
+        from ..search.estimate import WIRE_DERATE
+        from ..synth.vt import recover_leakage
+
+        derate = 1.0
+        if self.corners is not None:
+            worst = self.corners.worst_timing(self.process)
+            derate = worst.timing_derate(self.process)
+        return recover_leakage(
+            flat,
+            self.library,
+            clock_period_ns=self.spec.mac_period_ns / WIRE_DERATE,
+            derate=derate,
+        )
 
     # -- verification ------------------------------------------------------
 
@@ -388,6 +419,7 @@ def implement(
     corners: Optional[CornerSet] = None,
     verify: bool = False,
     verify_vectors: int = DEFAULT_VECTORS,
+    vt_recovery: bool = False,
 ) -> Implementation:
     """Run the complete implementation flow for one design point."""
     session = ImplementSession(
@@ -400,5 +432,6 @@ def implement(
         corners=corners,
         verify=verify,
         verify_vectors=verify_vectors,
+        vt_recovery=vt_recovery,
     )
     return session.implement(arch)

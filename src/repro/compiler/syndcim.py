@@ -77,6 +77,14 @@ class SynDCIM:
         from a corner-characterized SCL), the implementation flow
         evaluates every corner, and ``signoff_clean`` means clean at
         the worst corner.  ``None`` keeps the nominal-only behaviour.
+    vt:
+        Threshold-flavor policy.  A concrete flavor (``"svt"``,
+        ``"hvt"``, ``"lvt"``, ``"ulvt"``) maps every candidate's logic
+        to that flavor; ``"auto"`` lets the searcher walk the Vt ladder
+        (lower_vt joins timing escalation, raise_vt the leakage
+        tuning) and additionally runs netlist-level leakage recovery
+        during implementation (see
+        :func:`repro.synth.vt.recover_leakage`).
     """
 
     def __init__(
@@ -86,18 +94,23 @@ class SynDCIM:
         process: Optional[Process] = None,
         seed: Optional[int] = None,
         corners: Optional[CornerSet] = None,
+        vt: str = "svt",
     ) -> None:
         self._scl = scl
         self.library = library or default_library()
         self.process = process or GENERIC_40NM
         self.seed = seed
         self.corners = corners
+        self.vt = vt
         self._signoff_scl: Optional[SubcircuitLibrary] = None
 
     @property
     def scl(self) -> SubcircuitLibrary:
         if self._scl is None:
-            self._scl = default_scl(self.process)
+            # For an alternate cell library (e.g. imported from a .lib
+            # file) default_scl characterizes *that* backend; the
+            # default library keeps the shared memoized artifact.
+            self._scl = default_scl(self.process, library=self.library)
         return self._scl
 
     @property
@@ -110,13 +123,23 @@ class SynDCIM:
         if self._signoff_scl is None:
             from ..signoff.corners import worst_corner_scl
 
-            self._signoff_scl = worst_corner_scl(self.process, self.corners)
+            self._signoff_scl = worst_corner_scl(
+                self.process,
+                self.corners,
+                library=(
+                    None if self.library is default_library()
+                    else self.library
+                ),
+            )
         return self._signoff_scl
 
     def search(self, spec: MacroSpec) -> SearchResult:
         """Run only the multi-spec-oriented search."""
         return MSOSearcher(
-            self.scl, seed=self.seed, signoff_scl=self.signoff_scl
+            self.scl,
+            seed=self.seed,
+            signoff_scl=self.signoff_scl,
+            vt=self.vt,
         ).search(spec)
 
     def compile(
@@ -193,8 +216,13 @@ class SynDCIM:
         netlist and implementation outright instead of re-running the
         flow from RTL generation.
         """
-        from ..search.fixes import MAC_FIXES, OFU_FIXES
+        from ..search.fixes import MAC_FIXES, OFU_FIXES, VT_TIMING_FIXES
 
+        mac_fixes = MAC_FIXES
+        if self.vt == "auto":
+            # In auto mode the escalation loop may also step the logic
+            # flavor faster, mirroring the searcher's fix family.
+            mac_fixes = mac_fixes + VT_TIMING_FIXES
         # The session itself runs without the verify stage: escalation
         # attempts that miss timing are discarded, so only the final
         # implementation (below) pays for verification.
@@ -205,6 +233,7 @@ class SynDCIM:
             input_sparsity=input_sparsity,
             weight_sparsity=weight_sparsity,
             corners=self.corners,
+            vt_recovery=self.vt == "auto",
         )
         impl = session.implement(arch)
         attempts = 1
@@ -217,7 +246,7 @@ class SynDCIM:
             else:
                 endpoint = impl.timing.endpoint
             ofu_limited = "ofu" in endpoint or "fused" in endpoint or "outreg" in endpoint
-            fixes = OFU_FIXES if ofu_limited else MAC_FIXES
+            fixes = OFU_FIXES if ofu_limited else mac_fixes
             next_arch = None
             for _, move in fixes:
                 candidate = move(spec, impl.arch)
@@ -267,6 +296,7 @@ class SynDCIM:
             corners=None if self.corners is None else self.corners.names,
             verify=verify,
             verify_vectors=verify_vectors,
+            vt=self.vt,
         )
         cache = cache or ResultCache()
         # The job key covers the spec, options and process name — not a
@@ -475,7 +505,10 @@ def execute_job(payload: Dict[str, object]) -> Dict[str, object]:
                 [str(n) for n in corner_names], name="batch"  # type: ignore[union-attr]
             )
         compiler = SynDCIM(
-            seed=options.get("seed"), process=process, corners=corners  # type: ignore[arg-type]
+            seed=options.get("seed"),  # type: ignore[arg-type]
+            process=process,
+            corners=corners,
+            vt=str(options.get("vt", "svt")),
         )
         if job_type == "implement":
             arch = MacroArchitecture.from_dict(payload["arch"])  # type: ignore[arg-type]
@@ -491,6 +524,7 @@ def execute_job(payload: Dict[str, object]) -> Dict[str, object]:
                 verify_vectors=int(
                     options.get("verify_vectors", DEFAULT_VERIFY_VECTORS)
                 ),
+                vt_recovery=bool(options.get("vt_recovery", False)),
             )
             return dict(
                 _base_record(spec), implementation=implementation_record(impl)

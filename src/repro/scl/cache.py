@@ -21,8 +21,9 @@ milliseconds.  Layout::
     <cache dir>/v<schema>/<key>.json
 
 where ``<cache dir>`` defaults to ``~/.cache/repro/scl`` (under
-``$REPRO_CACHE_DIR`` when set) and ``key`` is a SHA-256 over the
-canonical JSON of the fingerprints above.  Any mismatch — unknown
+``$REPRO_CACHE_DIR`` when set) and ``key`` is a SHA-256 over a
+memo-free pickle of the fingerprints above (see
+:func:`scl_cache_key`).  Any mismatch — unknown
 schema, wrong key, truncated file, missing table — reads as a miss and
 triggers a fresh build that overwrites the artifact atomically
 (tempfile + ``os.replace``), so a killed process can never leave a
@@ -44,13 +45,16 @@ See ``docs/performance.md`` for the full story.
 from __future__ import annotations
 
 import hashlib
+import io
 import itertools
 import json
 import os
 import pathlib
+import pickle
+import sys
 import tempfile
 import time
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Optional, Set
 
 from ..errors import LibraryError
 from ..tech.process import Process
@@ -62,7 +66,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 #: Bump on any incompatible change to the artifact layout *or* to the
 #: record semantics that the fingerprints cannot see.
-SCL_CACHE_SCHEMA = 1
+#: v2: multi-Vt / multi-drive cell variants — cell fingerprints carry
+#: (vt, drive), and the default library spans the full variant grid.
+SCL_CACHE_SCHEMA = 2
 
 #: Values of ``REPRO_SCL_CACHE`` that mean "disabled" rather than a path.
 _OFF_VALUES = frozenset({"off", "0", "false", "no", "disabled"})
@@ -93,20 +99,33 @@ def scl_cache_dir() -> pathlib.Path:
 # --------------------------------------------------------------------------
 
 
-def _truth_table(cell: Cell) -> Optional[list]:
+def _truth_table(cell: Cell, _memo: Optional[dict] = None) -> Optional[str]:
     """Exhaustive behaviour of the cell's logic function (inputs are at
-    most five wide, so 32 rows bound the enumeration)."""
+    most five wide, so 32 rows bound the enumeration), packed into one
+    row-major bit string (``"01|10"`` for an inverter) — a flat string
+    keeps the serialized fingerprint small enough that hashing a
+    279-cell variant grid stays in the low milliseconds.
+
+    ``_memo`` deduplicates the enumeration across cells that share one
+    function callable — every (vt, drive) variant of a base cell does.
+    """
     if cell.function is None:
         return None
     pins = tuple(cell.input_caps_ff)
+    key = (cell.function, pins, tuple(cell.outputs))
+    if _memo is not None and key in _memo:
+        return _memo[key]
     rows = []
     for assignment in itertools.product((0, 1), repeat=len(pins)):
         outs = cell.function(dict(zip(pins, assignment)))
-        rows.append([int(outs.get(o, 0)) for o in cell.outputs])
-    return rows
+        rows.append("".join(str(int(outs.get(o, 0))) for o in cell.outputs))
+    table = "|".join(rows)
+    if _memo is not None:
+        _memo[key] = table
+    return table
 
 
-def cell_fingerprint(cell: Cell) -> dict:
+def cell_fingerprint(cell: Cell, _truth_memo: Optional[dict] = None) -> dict:
     """Everything characterization can observe about one cell."""
     return {
         "name": cell.name,
@@ -119,7 +138,7 @@ def cell_fingerprint(cell: Cell) -> dict:
         ],
         "leakage_nw": cell.leakage_nw,
         "internal_energy_fj": dict(cell.internal_energy_fj),
-        "truth_table": _truth_table(cell),
+        "truth_table": _truth_table(cell, _truth_memo),
         "is_sequential": cell.is_sequential,
         "clk_pin": cell.clk_pin,
         "clk_to_q_ns": cell.clk_to_q_ns,
@@ -129,11 +148,22 @@ def cell_fingerprint(cell: Cell) -> dict:
         "width_um": cell.width_um,
         "height_um": cell.height_um,
         "tags": list(cell.tags),
+        # The (vt, drive) grid coordinates are first-class identity:
+        # swapping a flavor in must re-key even if the scaled numbers
+        # were to collide.  The textual pin_functions are deliberately
+        # absent — the truth table already pins the semantics, so a
+        # cosmetic expression rewrite cannot churn the artifacts.
+        "vt": cell.vt,
+        "drive": cell.drive,
     }
 
 
 def library_fingerprint(library: StdCellLibrary) -> dict:
-    return {name: cell_fingerprint(library.cell(name)) for name in library.names}
+    memo: dict = {}
+    return {
+        name: cell_fingerprint(library.cell(name), _truth_memo=memo)
+        for name in library.names
+    }
 
 
 def process_fingerprint(process: Process) -> dict:
@@ -210,8 +240,20 @@ def scl_cache_key(
         "builder": grid_fingerprint(),
         "model": model_fingerprint(),
     }
-    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+    # Memo-free pickle instead of canonical JSON: ~10x faster over the
+    # 279-cell variant grid, and key computation is the dominant cost of
+    # every warm default_scl().  Determinism holds because fingerprint
+    # dicts are built in one fixed literal order; disabling the pickler
+    # memo (``fast``) keeps the bytes a function of *values* only, so
+    # cells that share interned truth-table strings hash identically to
+    # an imported copy that does not.  A key drift (new Python pickling
+    # ints differently, say) can only cause a rebuild, never a stale hit
+    # — the stored key is re-derived from the same payload.
+    buf = io.BytesIO()
+    pickler = pickle.Pickler(buf, protocol=4)
+    pickler.fast = True
+    pickler.dump(payload)
+    return hashlib.sha256(buf.getvalue()).hexdigest()
 
 
 # --------------------------------------------------------------------------
@@ -305,6 +347,30 @@ def _artifact_path(key: str) -> pathlib.Path:
     return scl_cache_dir() / f"v{SCL_CACHE_SCHEMA}" / f"{key}.json"
 
 
+#: Artifacts found corrupt (or schema-mismatched) since process start —
+#: each triggers exactly one warning line, so CI logs show cache churn
+#: without being flooded by repeated lookups of the same bad file.
+_CORRUPT_KEYS: Set[str] = set()
+
+
+def scl_cache_corruption_count() -> int:
+    """Distinct corrupt artifacts hit since process start (see
+    :func:`~repro.scl.library.default_scl_source` for the built/disk
+    resolution these corruption events degrade to)."""
+    return len(_CORRUPT_KEYS)
+
+
+def _note_corruption(key: str, path: pathlib.Path, exc: Exception) -> None:
+    if key in _CORRUPT_KEYS:
+        return
+    _CORRUPT_KEYS.add(key)
+    print(
+        f"repro: SCL cache artifact {path.name} is corrupt or stale "
+        f"({exc}); rebuilding",
+        file=sys.stderr,
+    )
+
+
 def load_cached_scl(
     library: StdCellLibrary,
     process: Process,
@@ -316,7 +382,9 @@ def load_cached_scl(
     Every failure mode — cache disabled, artifact missing, unreadable,
     corrupted, fingerprint drift (which changes the key, so the old
     artifact is simply never looked up) — degrades to ``None`` and a
-    fresh characterization.
+    fresh characterization.  A *present but unusable* artifact is not
+    silent, though: it logs one warning line per artifact and bumps
+    :func:`scl_cache_corruption_count`, so cache churn shows up in CI.
     """
     if not scl_cache_enabled():
         return None
@@ -328,7 +396,10 @@ def load_cached_scl(
         if payload.get("key") != key:
             raise LibraryError("SCL cache: key mismatch")
         return scl_from_payload(payload, library, process, corner)
-    except (OSError, ValueError, KeyError, TypeError, LibraryError):
+    except FileNotFoundError:
+        return None  # plain miss — the common, quiet case
+    except (OSError, ValueError, KeyError, TypeError, LibraryError) as exc:
+        _note_corruption(key, path, exc)
         return None
 
 

@@ -102,6 +102,7 @@ def default_scl(
     process: Optional[Process] = None,
     verbose: bool = False,
     corner: Optional["Corner"] = None,
+    library: Optional[StdCellLibrary] = None,
 ) -> SubcircuitLibrary:
     """Shared, lazily built SCL for the default cell library.
 
@@ -114,11 +115,27 @@ def default_scl(
     corner libraries live in the same persistent cache under keys that
     include the corner tuple, so a repeated corner is warm across
     processes exactly like the nominal library.
+
+    ``library`` swaps in an alternate standard-cell backend — e.g. one
+    imported from a .lib file via
+    :func:`repro.tech.liberty.read_liberty_library`.  Alternate
+    backends share the persistent disk cache (the content hash covers
+    every cell, so an imported copy of the default library resolves to
+    the *same* artifact) but skip the in-process memoization: the
+    caller owns the returned object's lifetime.
     """
     from .builder import build_default_scl
     from .cache import load_cached_scl, store_cached_scl
 
     process = process or GENERIC_40NM
+    if library is not None and library is not default_library():
+        scl = load_cached_scl(library, process, corner)
+        if scl is None:
+            scl = build_default_scl(
+                library, process, verbose=verbose, corner=corner
+            )
+            store_cached_scl(scl)
+        return scl
     key = _cache_key(process, corner)
     if key not in _CACHE:
         library = default_library()
@@ -140,7 +157,12 @@ def default_scl_source(
     corner: Optional["Corner"] = None,
 ) -> Optional[str]:
     """``"built"``/``"disk"`` for an already-resolved default SCL, else
-    ``None`` (never triggers a build)."""
+    ``None`` (never triggers a build).
+
+    A ``"built"`` that *should* have been ``"disk"`` usually means a
+    corrupt or schema-stale artifact was hit on the way — pair with
+    :func:`repro.scl.cache.scl_cache_corruption_count` to tell churn
+    from a legitimately cold cache."""
     return _SOURCE.get(_cache_key(process or GENERIC_40NM, corner))
 
 

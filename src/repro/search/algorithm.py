@@ -200,12 +200,29 @@ class MSOSearcher:
         tuning_moves=TUNING_MOVES,
         seed: Optional[int] = None,
         signoff_scl: Optional[SubcircuitLibrary] = None,
+        vt: str = "svt",
     ) -> None:
+        from ..tech.stdcells import VT_FLAVORS
+        from .fixes import VT_TIMING_FIXES, VT_TUNING_MOVES
+
+        if vt != "auto" and vt not in VT_FLAVORS:
+            raise SearchError(
+                f"vt must be 'auto' or one of {tuple(sorted(VT_FLAVORS))}, "
+                f"got {vt!r}"
+            )
         self._scl = scl
         self.mac_fixes = tuple(mac_fixes)
         self.ofu_fixes = tuple(ofu_fixes)
         self.merge_moves = tuple(merge_moves)
         self.tuning_moves = tuple(tuning_moves)
+        #: ``"auto"`` lets the search walk the Vt ladder: lower_vt joins
+        #: the timing escalation, raise_vt the leakage fine-tuning.  A
+        #: concrete flavor pins every seed (and thus every candidate) to
+        #: that flavor instead.
+        self.vt = vt
+        if vt == "auto":
+            self.mac_fixes += VT_TIMING_FIXES
+            self.tuning_moves = tuple(VT_TUNING_MOVES) + self.tuning_moves
         self.seed = seed
         #: Corner-characterized SCL (see ``default_scl(corner=...)``):
         #: candidates are *optimized* at TT (feasibility, PPA scoring)
@@ -248,6 +265,8 @@ class MSOSearcher:
                         )
 
         for seed_name, seed_arch in seed_architectures(spec, self.seed):
+            if self.vt not in ("auto", "svt"):
+                seed_arch = seed_arch.replace(vt=self.vt)
             est = self._estimate(spec, seed_arch)
             record(seed_name, "seed", est)
             est = self._repair_timing(spec, est, seed_name, record)

@@ -18,6 +18,7 @@ the clocking overhead (launch clock-to-Q + capture setup) added once.
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from dataclasses import dataclass, field
 from functools import cached_property
@@ -28,6 +29,8 @@ from ..errors import SearchError
 from ..spec import DataFormat, MacroSpec
 from ..scl.builder import tree_variant
 from ..scl.library import SubcircuitLibrary
+from ..scl.lut import PPARecord
+from ..tech.stdcells import VT_FLAVORS
 
 #: Launch clock-to-Q + capture setup of the library DFF (ns).
 CLOCK_OVERHEAD_NS = 0.085 + 0.045
@@ -147,19 +150,52 @@ def estimate_macro(
     )
 
     # --- SCL lookups -------------------------------------------------------
-    wl = scl.lookup("wl_driver", f"drv{arch.driver_strength}", w)
-    bl = scl.lookup("bl_driver", f"drv{arch.driver_strength}", h * mcr)
-    mm = scl.lookup("mult_mux", arch.mult_style, mcr)
+    # The SCL is characterized at svt; other flavors re-price every
+    # *logic* record by the flavor's delay/leakage factors (the same
+    # laws that derived the cells — see repro.tech.stdcells).  Bitcells
+    # and the DFF constants stay svt: registers and arrays are not
+    # re-flavored by the vt passes either, so estimate and netlist
+    # agree on what scales.
+    flavor = VT_FLAVORS[arch.vt]
+
+    def logic(rec: PPARecord) -> PPARecord:
+        if arch.vt == "svt":
+            return rec
+        return dataclasses.replace(
+            rec,
+            delay_ns=rec.delay_ns * flavor.delay_factor,
+            stage_delays_ns=tuple(
+                d * flavor.delay_factor for d in rec.stage_delays_ns
+            ),
+            leakage_mw=rec.leakage_mw * flavor.leakage_factor,
+        )
+
+    wl = logic(scl.lookup("wl_driver", f"drv{arch.driver_strength}", w))
+    bl = logic(scl.lookup("bl_driver", f"drv{arch.driver_strength}", h * mcr))
+    mm = logic(scl.lookup("mult_mux", arch.mult_style, mcr))
     sub_n = arch.subtree_inputs(spec)
-    tree = scl.lookup(
-        "adder_tree",
-        tree_variant(arch.tree_style, arch.tree_fa_levels, arch.carry_reorder),
-        sub_n,
+    tree = logic(
+        scl.lookup(
+            "adder_tree",
+            tree_variant(
+                arch.tree_style, arch.tree_fa_levels, arch.carry_reorder
+            ),
+            sub_n,
+        )
     )
     sub_tree_w = int(math.floor(math.log2(sub_n))) + 1
-    sa = scl.lookup("shift_adder", f"k{k}", tree_w)
+    sa = logic(scl.lookup("shift_adder", f"k{k}", tree_w))
+    if arch.vt != "svt":
+        # The S&A record bakes in one clocking overhead; registers do
+        # not re-flavor, so back it out of the scaling.
+        sa = dataclasses.replace(
+            sa,
+            delay_ns=(sa.delay_ns / flavor.delay_factor - CLOCK_OVERHEAD_NS)
+            * flavor.delay_factor
+            + CLOCK_OVERHEAD_NS,
+        )
     ofu_tag = "csel" if arch.ofu_csel else "rpl"
-    ofu = scl.lookup("ofu", f"c{ofu_cols}-{ofu_tag}", acc_w)
+    ofu = logic(scl.lookup("ofu", f"c{ofu_cols}-{ofu_tag}", acc_w))
     memcell = scl.lookup("memcell", arch.memcell, 1)
     storage = scl.lookup("memcell", "SRAM6T", 1)
 
@@ -169,7 +205,7 @@ def estimate_macro(
 
     combiner_delay = 0.0
     if arch.column_split > 1:
-        fuse1 = scl.lookup("fuse_stage", "s1-rpl", sub_tree_w)
+        fuse1 = logic(scl.lookup("fuse_stage", "s1-rpl", sub_tree_w))
         combiner_delay = math.log2(arch.column_split) * fuse1.delay_ns
         segments.append(Segment("mac_front", front + CLOCK_OVERHEAD_NS))
         if arch.reg_after_tree:
@@ -258,7 +294,7 @@ def estimate_macro(
     if arch.column_split > 1:
         n_regs = w * arch.column_split * sub_tree_w
         dff.add(add, n_regs)
-        fuse1 = scl.lookup("fuse_stage", "s1-rpl", sub_tree_w)
+        fuse1 = logic(scl.lookup("fuse_stage", "s1-rpl", sub_tree_w))
         n_comb = w * (arch.column_split - 1)
         add(
             fuse1.energy_pj * n_comb,
@@ -282,7 +318,7 @@ def estimate_macro(
     dff.add(add, groups * out_w)  # output registers
     # Alignment unit (FP modes only; amortized over the serial phases).
     if fmt_in.is_float:
-        align = scl.lookup("alignment", fmt_in.name, h)
+        align = logic(scl.lookup("alignment", fmt_in.name, h))
         add(
             align.energy_pj / max(fmt_in.serial_bits, 1),
             align.area_um2,
@@ -296,7 +332,7 @@ def estimate_macro(
             default=None,
         )
         if widest is not None:
-            align = scl.lookup("alignment", widest.name, h)
+            align = logic(scl.lookup("alignment", widest.name, h))
             add(0.0, align.area_um2, align.leakage_mw)
 
     # Mode-dependent activity derating: narrower serial words toggle the

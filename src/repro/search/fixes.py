@@ -224,3 +224,41 @@ TUNING_MOVES: Tuple[Tuple[str, Move], ...] = (
     ("calmer_ofu", calmer_ofu),
     ("unsplit_column", unsplit_column),
 ) + MERGE_MOVES
+
+
+# --------------------------------------------------------------------------
+# Vt-flavor moves (multi-Vt search mode).
+# --------------------------------------------------------------------------
+
+#: Slow/low-leakage -> fast/leaky, mirroring stdcells.VT_ORDER without
+#: importing it (fixes stay dependency-light for the batch workers).
+_VT_LADDER = ("hvt", "svt", "lvt", "ulvt")
+
+
+def lower_vt(
+    spec: MacroSpec, arch: MacroArchitecture
+) -> Optional[MacroArchitecture]:
+    """Timing fix: step the logic flavor one notch faster (and leakier)
+    on the Vt ladder — the cheapest structural-change-free speedup."""
+    idx = _VT_LADDER.index(arch.vt)
+    if idx + 1 < len(_VT_LADDER):
+        return arch.replace(vt=_VT_LADDER[idx + 1])
+    return None
+
+
+def raise_vt(
+    spec: MacroSpec, arch: MacroArchitecture
+) -> Optional[MacroArchitecture]:
+    """Tuning move: step the flavor one notch slower to shed leakage
+    where slack allows (the searcher re-checks timing as usual)."""
+    idx = _VT_LADDER.index(arch.vt)
+    if idx > 0:
+        return arch.replace(vt=_VT_LADDER[idx - 1])
+    return None
+
+
+#: Appended to the timing-fix escalation in ``--vt auto`` mode.
+VT_TIMING_FIXES: Tuple[Tuple[str, Move], ...] = (("lower_vt", lower_vt),)
+
+#: Appended to the fine-tuning moves in ``--vt auto`` mode.
+VT_TUNING_MOVES: Tuple[Tuple[str, Move], ...] = (("raise_vt", raise_vt),)

@@ -186,21 +186,22 @@ CORNER_SET_PRESETS: Dict[str, CornerSet] = {
 }
 
 
-def worst_corner_scl(process: Process, corners: CornerSet):
+def worst_corner_scl(process: Process, corners: CornerSet, library=None):
     """The corner-characterized default SCL for the set's worst timing
     corner, or ``None`` when the worst corner is the nominal point
     itself (TT pricing already covers it).
 
     The single resolution point shared by the compiler (searcher
     pricing) and the batch engine (worker prewarm), so both always
-    agree on which artifact a corner set needs.
+    agree on which artifact a corner set needs.  ``library`` swaps in
+    an alternate cell-library backend (see ``default_scl``).
     """
     from ..scl.library import default_scl
 
     worst = corners.worst_timing(process)
     if worst.timing_derate(process) <= 1.0 + 1e-9:
         return None
-    return default_scl(process, corner=worst)
+    return default_scl(process, corner=worst, library=library)
 
 
 def parse_corners(text: str) -> CornerSet:

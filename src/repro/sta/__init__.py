@@ -9,7 +9,9 @@ from .analysis import (
     TimingReport,
     analyze,
     analyze_graph,
+    instance_slacks,
     minimum_period_ns,
+    net_slacks,
     propagate,
 )
 from .graph import (
@@ -25,7 +27,9 @@ __all__ = [
     "TimingReport",
     "analyze",
     "analyze_graph",
+    "instance_slacks",
     "minimum_period_ns",
+    "net_slacks",
     "propagate",
     "DEFAULT_WLM_FF_PER_SINK",
     "TimingEdge",

@@ -333,8 +333,8 @@ def _propagate_view(
     view: NetView,
     derate: float,
     wire_load: Optional[WireLoadFn],
-) -> Tuple[List[float], List[int]]:
-    """Arrival propagation over a view: ``(arrivals, parent)``.
+) -> Tuple[List[float], List[int], List[float]]:
+    """Arrival propagation over a view: ``(arrivals, parent, slews)``.
 
     Arrivals are independent of the clock period, so the pass is cached
     on the view for the latest ``(wire_load, derate)`` pair — ``analyze``
@@ -349,7 +349,7 @@ def _propagate_view(
         and cached[2] is wire_load
         and cached[3] == derate
     ):
-        return cached[0], cached[1]
+        return cached[0], cached[1], cached[4]
 
     ta = _timing_arrays(view)
     n = ta.n_nets
@@ -390,8 +390,8 @@ def _propagate_view(
                 slews[t] = eslew_l[ei]
                 parent[t] = ei
 
-    view.derived["sta_prop"] = (arrivals, parent, wire_load, derate)
-    return arrivals, parent
+    view.derived["sta_prop"] = (arrivals, parent, wire_load, derate, slews)
+    return arrivals, parent, slews
 
 
 def _analyze_view(
@@ -406,7 +406,7 @@ def _analyze_view(
     if derate <= 0.0:
         raise TimingError("derate must be positive")
     ta = _timing_arrays(view)
-    arrivals, parent = _propagate_view(view, derate, wire_load)
+    arrivals, parent, _ = _propagate_view(view, derate, wire_load)
 
     if not ta.endpoints:
         raise TimingError("design has no timing endpoints")
@@ -463,6 +463,130 @@ def _analyze_view(
         path=tuple(path),
         endpoint_slacks=endpoint_slacks,
     )
+
+
+def _required_times(
+    view: NetView,
+    clock_period_ns: float,
+    derate: float,
+    wire_load: Optional[WireLoadFn],
+) -> Tuple[List[float], List[float], List[float], List[float]]:
+    """Forward + backward pass: per-net arrivals, requireds, slews and
+    per-edge delays.
+
+    The backward pass relaxes required times over the *reversed*
+    topological edge order — each edge's destination is final before
+    the edge is visited, mirroring the forward discipline exactly, so
+    ``required - arrival`` is the classic per-net slack.
+    """
+    if clock_period_ns <= 0.0:
+        raise TimingError("clock period must be positive")
+    if derate <= 0.0:
+        raise TimingError("derate must be positive")
+    ta = _timing_arrays(view)
+    if not ta.endpoints:
+        raise TimingError("design has no timing endpoints")
+    arrivals, _, slews = _propagate_view(view, derate, wire_load)
+
+    load = net_loads_vector(view, wire_load)
+    inf = float("inf")
+    required: List[float] = [inf] * ta.n_nets
+    for ep_id, (_kind, setup) in ta.endpoints.items():
+        req = clock_period_ns - setup
+        if req < required[ep_id]:
+            required[ep_id] = req
+
+    delays: List[float] = []
+    if ta.edge_order:
+        base_l = (ta.d0 + ta.r * load[ta.dst] * 1e-3).tolist()
+        src_l = ta.src_list
+        dst_l = ta.dst_list
+        delays = [0.0] * len(base_l)
+        for ei in reversed(ta.edge_order):
+            s = src_l[ei]
+            d = (base_l[ei] + SLEW_SENSITIVITY * slews[s]) * derate
+            delays[ei] = d
+            req = required[dst_l[ei]]
+            if req == inf:
+                continue
+            cand = req - d
+            if cand < required[s]:
+                required[s] = cand
+    return arrivals, required, slews, delays
+
+
+def net_slacks(
+    module: Module,
+    library: StdCellLibrary,
+    clock_period_ns: float,
+    wire_load: Optional[WireLoadFn] = None,
+    derate: float = 1.0,
+) -> Dict[str, float]:
+    """Per-net setup slack (``required - arrival``) for every net on a
+    path to a timing endpoint.
+
+    Nets that reach no endpoint (e.g. dangling probe nets) are omitted
+    rather than reported as infinitely slack.
+    """
+    view = net_view(module, library)
+    arrivals, required, _, _ = _required_times(
+        view, clock_period_ns, derate, wire_load
+    )
+    inf = float("inf")
+    neg_inf = float("-inf")
+    names = view.net_names
+    out: Dict[str, float] = {}
+    for i, req in enumerate(required):
+        if req == inf:
+            continue
+        arrival = arrivals[i]
+        if arrival == neg_inf:
+            arrival = 0.0
+        out[names[i]] = req - arrival
+    return out
+
+
+def instance_slacks(
+    module: Module,
+    library: StdCellLibrary,
+    clock_period_ns: float,
+    wire_load: Optional[WireLoadFn] = None,
+    derate: float = 1.0,
+) -> Dict[str, float]:
+    """Worst setup slack through each combinational instance.
+
+    For every timing arc ``s -> t`` of an instance the edge slack is
+    ``required[t] - arrival[s] - delay``; the instance's slack is the
+    minimum over its arcs — how much slower this one cell could get
+    before some endpoint misses the period.  Instances with no
+    constrained arcs (sequential cells, tie cells, logic feeding only
+    dangling nets) report ``+inf``: they never bound the period, so
+    leakage-recovery passes may treat them as freely swappable.
+    """
+    view = net_view(module, library)
+    ta = _timing_arrays(view)
+    arrivals, required, _, delays = _required_times(
+        view, clock_period_ns, derate, wire_load
+    )
+    inf = float("inf")
+    slacks: Dict[int, float] = {}
+    src_l = ta.src_list
+    dst_l = ta.dst_list
+    einst = ta.edge_inst
+    for ei in range(len(src_l)):
+        req = required[dst_l[ei]]
+        if req == inf:
+            continue
+        slack = req - arrivals[src_l[ei]] - delays[ei]
+        idx = int(einst[ei])
+        prev = slacks.get(idx)
+        if prev is None or slack < prev:
+            slacks[idx] = slack
+    instances = module.instances
+    out: Dict[str, float] = {}
+    for idx, inst in enumerate(instances):
+        out[inst.name] = slacks.get(idx, inf)
+    return out
 
 
 def propagate(

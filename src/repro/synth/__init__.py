@@ -12,11 +12,23 @@ from .optimize import (
     propagate_constants,
     sweep_dead_logic,
 )
+from .vt import (
+    check_vt_library,
+    recover_leakage,
+    resize_drive,
+    swap_vt,
+    upsize_critical,
+)
 
 __all__ = [
     "FANOUT_LIMIT",
     "buffer_high_fanout",
+    "check_vt_library",
     "optimize",
     "propagate_constants",
+    "recover_leakage",
+    "resize_drive",
+    "swap_vt",
     "sweep_dead_logic",
+    "upsize_critical",
 ]

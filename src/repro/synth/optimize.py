@@ -645,7 +645,10 @@ def buffer_high_fanout(
 
 
 def optimize(
-    module: Module, library: StdCellLibrary, inplace: bool = False
+    module: Module,
+    library: StdCellLibrary,
+    inplace: bool = False,
+    vt: Optional[str] = None,
 ) -> Tuple[Module, Dict[str, int]]:
     """Run the full pass pipeline; returns the module and a stats dict.
 
@@ -653,6 +656,11 @@ def optimize(
     module) is shared by all three passes; the input module is never
     mutated unless ``inplace=True`` (the implementation flow passes a
     freshly flattened module it owns, which skips the bulk copy).
+
+    ``vt`` re-flavors the surviving combinational cells to that
+    threshold flavor as a fourth pass (see
+    :func:`repro.synth.vt.swap_vt`); ``None`` leaves the mapping's
+    flavors untouched.
     """
     stats: Dict[str, int] = {}
     index = _SynthIndex(module, library, inplace=inplace)
@@ -664,6 +672,12 @@ def optimize(
     out = index.result()
     if index.mutated:
         _prune_nets(out)
+    if vt is not None:
+        from .vt import swap_vt
+
+        if not inplace and out is module:
+            out = _clone_flat(out)
+        stats["vt_swapped"] = swap_vt(out, library, vt)
     out.validate(library)
     return out, stats
 

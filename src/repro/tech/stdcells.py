@@ -24,12 +24,69 @@ can express.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import re
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, Mapping, Optional, Tuple
 
 from ..errors import LibraryError
 
 LogicFn = Callable[[Mapping[str, int]], Dict[str, int]]
+
+
+# --------------------------------------------------------------------------
+# Vt flavors and the drive ladder.
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class VtFlavor:
+    """One threshold-voltage flavor of the process.
+
+    ``delay_factor`` scales every timing quantity (intrinsic delay,
+    drive resistance, clk->q, setup, hold) relative to the standard-Vt
+    cell; ``leakage_factor`` scales subthreshold leakage — the classic
+    exponential Vt/leakage trade collapsed to per-flavor constants, the
+    same shape multi-Vt foundry kits expose.  ``cap_factor`` captures
+    the small gate-cap change from the implant/channel tweaks.
+    """
+
+    name: str
+    delay_factor: float
+    leakage_factor: float
+    cap_factor: float = 1.0
+
+
+#: The four flavors of a typical 40 nm multi-Vt kit.
+VT_FLAVORS: Dict[str, VtFlavor] = {
+    "ulvt": VtFlavor("ulvt", 0.80, 4.5, 1.05),
+    "lvt": VtFlavor("lvt", 0.90, 2.2, 1.02),
+    "svt": VtFlavor("svt", 1.00, 1.0, 1.00),
+    "hvt": VtFlavor("hvt", 1.18, 0.35, 0.97),
+}
+
+#: Flavors ordered slow/low-leakage -> fast/leaky.
+VT_ORDER: Tuple[str, ...] = ("hvt", "svt", "lvt", "ulvt")
+
+#: Drive strengths every laddered family is populated at.
+DRIVE_LADDER: Tuple[int, ...] = (1, 2, 4, 6, 8, 12)
+
+_VARIANT_RE = re.compile(r"^([A-Z][A-Z0-9]*?)(?:_(ULVT|LVT|HVT))?_X(\d+)$")
+
+
+def parse_variant_name(name: str) -> Optional[Tuple[str, str, int]]:
+    """Split ``BASE[_VT]_X<drive>`` into (base, vt, drive), or None for
+    cells outside the ladder naming scheme (memcells, TIE cells)."""
+    m = _VARIANT_RE.match(name)
+    if m is None:
+        return None
+    base, vt, drive = m.group(1), m.group(2), int(m.group(3))
+    return base, (vt.lower() if vt else "svt"), drive
+
+
+def variant_name(base: str, vt: str, drive: int) -> str:
+    """Canonical cell name for a (base family, vt, drive) variant."""
+    infix = "" if vt == "svt" else f"_{vt.upper()}"
+    return f"{base}{infix}_X{drive}"
 
 
 @dataclass(frozen=True)
@@ -72,8 +129,18 @@ class Cell:
     width_um: float = 0.0
     height_um: float = 0.0
     tags: Tuple[str, ...] = field(default_factory=tuple)
+    #: Threshold-voltage flavor (see :data:`VT_FLAVORS`).
+    vt: str = "svt"
+    #: Drive strength on the family ladder (the ``_X<n>`` suffix).
+    drive: int = 1
+    #: Per-output-pin boolean expressions (Liberty ``function`` attrs);
+    #: semantically redundant with ``function`` but textual, so the
+    #: library survives a .lib round trip with its logic intact.
+    pin_functions: Dict[str, str] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
+        if self.vt not in VT_FLAVORS:
+            raise LibraryError(f"{self.name}: unknown vt flavor {self.vt!r}")
         for arc in self.arcs:
             if arc.output_pin not in self.outputs:
                 raise LibraryError(
@@ -119,6 +186,79 @@ def _full_arcs(
     inputs: Tuple[str, ...], output: str, d0: float, r: float
 ) -> Tuple[TimingArc, ...]:
     return tuple(TimingArc(i, output, d0, r) for i in inputs)
+
+
+def derive_variant(
+    reference: Cell, vt: str, drive: Optional[int] = None
+) -> Cell:
+    """Scale ``reference`` to another (vt, drive) point of its family.
+
+    Scaling laws (k = drive ratio, f = flavor-factor ratio):
+
+    * delays (``d0``, ``r``, clk->q, setup, hold) x ``f.delay_factor``;
+      ``r`` additionally /k (wider devices drive harder);
+    * input caps x k x ``f.cap_factor``;
+    * area x (0.6 + 0.4 k) — shared well/rail overhead doesn't scale;
+    * leakage x k x ``f.leakage_factor``;
+    * internal energy x (0.5 + 0.5 k).
+
+    Monotonicity across flavors at a fixed drive is guaranteed by
+    construction because every flavor is derived from the *same*
+    reference cell.
+    """
+    parsed = parse_variant_name(reference.name)
+    if parsed is None:
+        raise LibraryError(
+            f"{reference.name}: not a laddered cell, cannot derive variants"
+        )
+    base, _, _ = parsed
+    flavor = VT_FLAVORS.get(vt)
+    if flavor is None:
+        raise LibraryError(f"unknown vt flavor {vt!r}")
+    if drive is None:
+        drive = reference.drive
+    if drive < 1:
+        raise LibraryError(f"{reference.name}: invalid drive {drive}")
+    ref_flavor = VT_FLAVORS[reference.vt]
+    dly = flavor.delay_factor / ref_flavor.delay_factor
+    lkg = flavor.leakage_factor / ref_flavor.leakage_factor
+    cap = flavor.cap_factor / ref_flavor.cap_factor
+    k = drive / reference.drive
+    area = reference.area_um2 * (0.6 + 0.4 * k)
+    height = reference.height_um or 1.8
+    tags = reference.tags
+    if "variant" not in tags:
+        tags = tags + ("variant",)
+    return Cell(
+        name=variant_name(base, vt, drive),
+        area_um2=area,
+        input_caps_ff={
+            p: c * k * cap for p, c in reference.input_caps_ff.items()
+        },
+        outputs=reference.outputs,
+        arcs=tuple(
+            TimingArc(a.input_pin, a.output_pin, a.d0_ns * dly, a.r_kohm * dly / k)
+            for a in reference.arcs
+        ),
+        leakage_nw=reference.leakage_nw * k * lkg,
+        internal_energy_fj={
+            p: e * (0.5 + 0.5 * k)
+            for p, e in reference.internal_energy_fj.items()
+        },
+        function=reference.function,
+        is_sequential=reference.is_sequential,
+        clk_pin=reference.clk_pin,
+        clk_to_q_ns=reference.clk_to_q_ns * dly,
+        setup_ns=reference.setup_ns * dly,
+        hold_ns=reference.hold_ns * dly,
+        is_memory=reference.is_memory,
+        width_um=area / height,
+        height_um=height,
+        tags=tags,
+        vt=vt,
+        drive=drive,
+        pin_functions=dict(reference.pin_functions),
+    )
 
 
 # --------------------------------------------------------------------------
@@ -226,6 +366,7 @@ def _make_cells() -> Dict[str, Cell]:
         fn: LogicFn,
         tags: Tuple[str, ...] = (),
         caps: Optional[Dict[str, float]] = None,
+        expr: str = "",
     ) -> Cell:
         pin_names = tuple("ABCD"[:n_inputs])
         input_caps = caps or {p: cap for p in pin_names}
@@ -241,25 +382,34 @@ def _make_cells() -> Dict[str, Cell]:
             width_um=area / 1.8,
             height_um=1.8,
             tags=tags,
+            pin_functions={"Y": expr} if expr else {},
         )
 
     # Inverters/buffers at three drive strengths.
-    add(simple("INV_X1", 0.8, 0.9, 0.010, 1.40, 1.5, 0.40, 1, _inv))
-    add(simple("INV_X2", 1.1, 1.8, 0.010, 0.70, 3.0, 0.70, 1, _inv))
-    add(simple("INV_X4", 1.8, 3.6, 0.011, 0.35, 6.0, 1.30, 1, _inv))
-    add(simple("BUF_X2", 1.6, 1.0, 0.022, 0.70, 3.2, 0.90, 1, _buf))
-    add(simple("BUF_X4", 2.4, 1.1, 0.024, 0.35, 5.5, 1.60, 1, _buf))
-    add(simple("BUF_X8", 3.8, 1.2, 0.026, 0.18, 9.5, 2.90, 1, _buf))
+    add(simple("INV_X1", 0.8, 0.9, 0.010, 1.40, 1.5, 0.40, 1, _inv, expr="!A"))
+    add(simple("INV_X2", 1.1, 1.8, 0.010, 0.70, 3.0, 0.70, 1, _inv, expr="!A"))
+    add(simple("INV_X4", 1.8, 3.6, 0.011, 0.35, 6.0, 1.30, 1, _inv, expr="!A"))
+    add(simple("BUF_X2", 1.6, 1.0, 0.022, 0.70, 3.2, 0.90, 1, _buf, expr="A"))
+    add(simple("BUF_X4", 2.4, 1.1, 0.024, 0.35, 5.5, 1.60, 1, _buf, expr="A"))
+    add(simple("BUF_X8", 3.8, 1.2, 0.026, 0.18, 9.5, 2.90, 1, _buf, expr="A"))
 
     # Basic combinational gates.
-    add(simple("NAND2_X1", 1.2, 1.1, 0.014, 1.60, 2.2, 0.60, 2, _nand2))
-    add(simple("NAND2_X2", 1.7, 2.2, 0.014, 0.80, 4.2, 1.05, 2, _nand2))
-    add(simple("NOR2_X1", 1.2, 1.1, 0.016, 1.80, 2.0, 0.60, 2, _nor2))
-    add(simple("AND2_X1", 1.5, 1.0, 0.022, 1.50, 2.6, 0.75, 2, _and2))
-    add(simple("OR2_X1", 1.5, 1.0, 0.024, 1.60, 2.6, 0.80, 2, _or2))
-    add(simple("XOR2_X1", 2.6, 1.9, 0.030, 1.70, 3.5, 1.20, 2, _xor2))
-    add(simple("XNOR2_X1", 2.6, 1.9, 0.030, 1.70, 3.5, 1.20, 2, _xnor2))
-    add(simple("AOI22_X1", 1.9, 1.2, 0.020, 1.90, 2.8, 0.85, 4, _aoi22))
+    add(simple("NAND2_X1", 1.2, 1.1, 0.014, 1.60, 2.2, 0.60, 2, _nand2,
+               expr="!(A & B)"))
+    add(simple("NAND2_X2", 1.7, 2.2, 0.014, 0.80, 4.2, 1.05, 2, _nand2,
+               expr="!(A & B)"))
+    add(simple("NOR2_X1", 1.2, 1.1, 0.016, 1.80, 2.0, 0.60, 2, _nor2,
+               expr="!(A | B)"))
+    add(simple("AND2_X1", 1.5, 1.0, 0.022, 1.50, 2.6, 0.75, 2, _and2,
+               expr="A & B"))
+    add(simple("OR2_X1", 1.5, 1.0, 0.024, 1.60, 2.6, 0.80, 2, _or2,
+               expr="A | B"))
+    add(simple("XOR2_X1", 2.6, 1.9, 0.030, 1.70, 3.5, 1.20, 2, _xor2,
+               expr="A ^ B"))
+    add(simple("XNOR2_X1", 2.6, 1.9, 0.030, 1.70, 3.5, 1.20, 2, _xnor2,
+               expr="!(A ^ B)"))
+    add(simple("AOI22_X1", 1.9, 1.2, 0.020, 1.90, 2.8, 0.85, 4, _aoi22,
+               expr="!((A & B) | (C & D))"))
     add(
         simple(
             "OAI22_X1",
@@ -272,10 +422,11 @@ def _make_cells() -> Dict[str, Cell]:
             4,
             _oai22,
             tags=("mult_mux",),
+            expr="!((A | B) & (C | D))",
         )
     )
-    add(simple("TIE0", 0.4, 0.0, 0.0, 0.0, 0.2, 0.0, 0, _tie0))
-    add(simple("TIE1", 0.4, 0.0, 0.0, 0.0, 0.2, 0.0, 0, _tie1))
+    add(simple("TIE0", 0.4, 0.0, 0.0, 0.0, 0.2, 0.0, 0, _tie0, expr="0"))
+    add(simple("TIE1", 0.4, 0.0, 0.0, 0.0, 0.2, 0.0, 0, _tie1, expr="1"))
 
     # Transmission-gate mux (paper option 3 for MCR selection).
     add(
@@ -295,6 +446,7 @@ def _make_cells() -> Dict[str, Cell]:
             width_um=0.5,
             height_um=1.8,
             tags=("mult_mux",),
+            pin_functions={"Y": "(D1 & S) | (D0 & !S)"},
         )
     )
     # Full-CMOS mux for datapath use.
@@ -314,6 +466,7 @@ def _make_cells() -> Dict[str, Cell]:
             function=_mux2,
             width_um=2.2 / 1.8,
             height_um=1.8,
+            pin_functions={"Y": "(D1 & S) | (D0 & !S)"},
         )
     )
     # 1T passing-gate mux (AutoDCIM option 1): tiny, but the Vt drop makes
@@ -335,6 +488,7 @@ def _make_cells() -> Dict[str, Cell]:
             width_um=0.2,
             height_um=1.8,
             tags=("mult_mux",),
+            pin_functions={"Y": "(D1 & S) | (D0 & !S)"},
         )
     )
 
@@ -357,6 +511,7 @@ def _make_cells() -> Dict[str, Cell]:
             width_um=3.4 / 1.8,
             height_um=1.8,
             tags=("adder",),
+            pin_functions={"S": "A ^ B", "CO": "A & B"},
         )
     )
     add(
@@ -379,6 +534,10 @@ def _make_cells() -> Dict[str, Cell]:
             width_um=6.8 / 1.8,
             height_um=1.8,
             tags=("adder",),
+            pin_functions={
+                "S": "(A ^ B) ^ CI",
+                "CO": "(A & B) | (CI & (A ^ B))",
+            },
         )
     )
     # 4-2 compressor: smaller and lower-energy than the two FAs it
@@ -411,6 +570,11 @@ def _make_cells() -> Dict[str, Cell]:
             width_um=10.5 / 1.8,
             height_um=1.8,
             tags=("adder", "compressor"),
+            pin_functions={
+                "S": "((A ^ B) ^ C) ^ (D ^ CI)",
+                "CY": "(((A ^ B) ^ C) & D) | (CI & (((A ^ B) ^ C) ^ D))",
+                "CO": "(A & B) | (A & C) | (B & C)",
+            },
         )
     )
 
@@ -497,7 +661,82 @@ def _make_cells() -> Dict[str, Cell]:
         tags=("memcell",),
     )
 
+    # Stamp the (vt, drive) coordinates the cell names already encode so
+    # the handcrafted cells sit on the same ladder as derived variants.
+    for name, cell in list(cells.items()):
+        parsed = parse_variant_name(name)
+        if parsed is not None:
+            _, vt, drive = parsed
+            if cell.vt != vt or cell.drive != drive:
+                cells[name] = replace(cell, vt=vt, drive=drive)
+
+    _expand_variants(cells)
     return cells
+
+
+#: Families populated across the full Vt x drive grid; the anchor is the
+#: handcrafted cell drive-scaling starts from.
+_DRIVE_ANCHORS: Tuple[str, ...] = (
+    "INV_X1",
+    "BUF_X2",
+    "NAND2_X1",
+    "NOR2_X1",
+    "AND2_X1",
+    "OR2_X1",
+    "XOR2_X1",
+    "XNOR2_X1",
+    "AOI22_X1",
+    "OAI22_X1",
+)
+
+#: Complex/sequential cells that get Vt flavors at their native drive
+#: only (resizing a custom compressor or flop layout is a relayout, not
+#: a scaling law).
+_VT_ONLY_ANCHORS: Tuple[str, ...] = (
+    "TGMUX2_X1",
+    "MUX2_X1",
+    "PGMUX2_X1",
+    "HA_X1",
+    "FA_X1",
+    "CMP42_X1",
+    "DFF_X1",
+    "LATCH_X1",
+)
+
+
+def _expand_variants(cells: Dict[str, Cell]) -> None:
+    """Populate the Vt x drive grid around the handcrafted cells.
+
+    Handcrafted cells are never replaced: where one exists at a grid
+    point it *is* that point, and the other Vt flavors at the same drive
+    are derived from it — which keeps the flavor ordering (delay up,
+    leakage down toward hvt) exact at every drive even where the
+    handcrafted ladder deviates slightly from the pure scaling laws.
+    """
+    for anchor_name in _DRIVE_ANCHORS:
+        anchor = cells[anchor_name]
+        base = parse_variant_name(anchor_name)[0]
+        for drive in DRIVE_LADDER:
+            ref_name = variant_name(base, "svt", drive)
+            ref = cells.get(ref_name)
+            if ref is None:
+                ref = derive_variant(anchor, "svt", drive)
+                cells[ref.name] = ref
+            for vt in VT_ORDER:
+                if vt == "svt":
+                    continue
+                name = variant_name(base, vt, drive)
+                if name not in cells:
+                    cells[name] = derive_variant(ref, vt, drive)
+    for anchor_name in _VT_ONLY_ANCHORS:
+        ref = cells[anchor_name]
+        base, _, drive = parse_variant_name(anchor_name)
+        for vt in VT_ORDER:
+            if vt == "svt":
+                continue
+            name = variant_name(base, vt, drive)
+            if name not in cells:
+                cells[name] = derive_variant(ref, vt, drive)
 
 
 class StdCellLibrary:
@@ -535,6 +774,7 @@ class StdCellLibrary:
 
 
 _DEFAULT: Optional[StdCellLibrary] = None
+_SINGLE_VT: Optional[StdCellLibrary] = None
 
 
 def default_library() -> StdCellLibrary:
@@ -543,3 +783,19 @@ def default_library() -> StdCellLibrary:
     if _DEFAULT is None:
         _DEFAULT = StdCellLibrary()
     return _DEFAULT
+
+
+def single_vt_library() -> StdCellLibrary:
+    """The pre-expansion library: handcrafted cells only, no derived
+    (vt, drive) variants.  Baseline for the multi-Vt perf guard and for
+    A/B comparisons against the full grid."""
+    global _SINGLE_VT
+    if _SINGLE_VT is None:
+        _SINGLE_VT = StdCellLibrary(
+            {
+                c.name: c
+                for c in default_library()
+                if "variant" not in c.tags
+            }
+        )
+    return _SINGLE_VT

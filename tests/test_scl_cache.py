@@ -24,6 +24,7 @@ from repro.scl.builder import build_default_scl
 from repro.scl.cache import (
     SCL_CACHE_SCHEMA,
     load_cached_scl,
+    scl_cache_corruption_count,
     scl_cache_dir,
     scl_cache_enabled,
     scl_cache_key,
@@ -228,6 +229,40 @@ class TestCorruption:
         payload["entry_count"] = 999
         path.write_text(json.dumps(payload))
         assert load_cached_scl(library, process) is None
+
+    def test_corruption_warns_once_and_counts(
+        self, cache_dir, library, process, capsys, monkeypatch
+    ):
+        """A present-but-unusable artifact is not silent: exactly one
+        stderr warning line per artifact, and the corruption counter
+        climbs so CI logs surface cache churn."""
+        import repro.scl.cache as cache_mod
+
+        # The seen-key set is process-global; earlier corruption tests
+        # may already have burned this library's key.
+        monkeypatch.setattr(cache_mod, "_CORRUPT_KEYS", set())
+        before = scl_cache_corruption_count()
+        path = self._stored_path(library, process)
+        path.write_text("not json at all {{{")
+        capsys.readouterr()
+        assert load_cached_scl(library, process) is None
+        err = capsys.readouterr().err
+        assert err.count("corrupt or stale") == 1
+        assert path.name.split(".")[0] in err
+        assert scl_cache_corruption_count() == before + 1
+        # Repeated lookups of the same bad artifact stay quiet.
+        assert load_cached_scl(library, process) is None
+        assert capsys.readouterr().err == ""
+        assert scl_cache_corruption_count() == before + 1
+
+    def test_plain_miss_is_silent(
+        self, cache_dir, library, process, capsys
+    ):
+        before = scl_cache_corruption_count()
+        capsys.readouterr()
+        assert load_cached_scl(library, process) is None
+        assert capsys.readouterr().err == ""
+        assert scl_cache_corruption_count() == before
 
     def test_corrupted_artifact_falls_back_to_build(
         self, cache_dir, library, process, monkeypatch
