@@ -5,10 +5,13 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench perf perf-check perf-smoke lint install
+.PHONY: test chaos bench perf perf-check perf-smoke lint install
 
 test:  ## tier-1 suite: unit tests + benchmark reproductions
 	$(PYTHON) -m pytest -x -q
+
+chaos:  ## fault-injection suite: watchdog, retry, resume, quarantine
+	$(PYTHON) -m pytest tests/test_resilience.py -q
 
 bench:  ## benchmark suite only, with timing columns
 	$(PYTHON) -m pytest benchmarks -q --benchmark-columns=mean,stddev,ops

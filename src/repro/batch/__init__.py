@@ -13,15 +13,27 @@ facade into a design-space instrument:
 * :mod:`repro.batch.sweep` — the range grammar (``32:256:x2``)
   expanding CLI axes into spec grids;
 * :mod:`repro.batch.summarize` — Pareto/scaling reports over a sweep's
-  JSONL records.
+  JSONL records;
+* :mod:`repro.batch.resilience` — failure taxonomy,
+  :class:`RetryPolicy`, the crash-safe :class:`SweepJournal` behind
+  ``--resume``;
+* :mod:`repro.batch.faults` — the deterministic ``$REPRO_FAULTS``
+  chaos harness (see ``docs/robustness.md``).
 
 See ``docs/architecture.md`` for how this package sits on top of the
 search and implementation layers.
 """
 
-from .cache import CACHE_SCHEMA_VERSION, CacheStats, ResultCache
+from .cache import (
+    CACHE_SCHEMA_VERSION,
+    CacheStats,
+    ResultCache,
+    cache_corruption_count,
+)
 from .engine import BatchCompiler, BatchResult, BatchStats
+from .faults import FaultPlan, active_plan
 from .jobs import CompileJob, ImplementJob
+from .resilience import RetryPolicy, SweepJournal
 from .sweep import expand_grid, parse_axis, parse_format_sets, parse_range
 
 __all__ = [
@@ -31,8 +43,13 @@ __all__ = [
     "BatchStats",
     "CacheStats",
     "CompileJob",
+    "FaultPlan",
     "ImplementJob",
     "ResultCache",
+    "RetryPolicy",
+    "SweepJournal",
+    "active_plan",
+    "cache_corruption_count",
     "expand_grid",
     "parse_axis",
     "parse_format_sets",

@@ -11,8 +11,12 @@ where ``key`` is the job's content hash (see
 :meth:`repro.batch.jobs.CompileJob.key`) and ``kk`` its first two hex
 digits (keeps directories small on big sweeps).  Files are written
 atomically (tempfile + ``os.replace``) so a killed sweep never leaves a
-truncated record behind; a corrupt or unreadable file reads as a miss
-and is overwritten on the next store.
+truncated record behind.  A corrupt record file reads as a miss *and*
+is quarantined (renamed to ``.corrupt-<key>.json``) with one warning
+per artifact, so a bad entry is recompiled once instead of being
+re-read — and re-missed — by every later lookup;
+:func:`cache_corruption_count` makes the churn visible to CI, mirroring
+the SCL cache's corruption accounting.
 
 The default root is ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``; every
 CLI entry point takes ``--cache-dir`` to override it.
@@ -25,8 +29,9 @@ import os
 import pathlib
 import tempfile
 import time
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Set
 
 #: Bump when the record schema changes incompatibly; old entries are
 #: simply never looked up again (they live under the old version dir).
@@ -37,7 +42,43 @@ from typing import Dict, Optional
 #: jobs key the verify options.
 #: v4: multi-Vt — architectures carry a ``vt`` knob, compile jobs key
 #: the vt policy, implement jobs key the leakage-recovery flag.
-CACHE_SCHEMA_VERSION = 4
+#: v5: resilience — records carry a ``fault`` marker (None outside
+#: chaos runs) and the batch engine journals terminal records for
+#: crash-safe resume.
+CACHE_SCHEMA_VERSION = 5
+
+
+#: Record files found corrupt since process start — one warning each,
+#: mirroring the SCL cache's per-artifact corruption accounting.
+_CORRUPT_KEYS: Set[str] = set()
+
+
+def cache_corruption_count() -> int:
+    """Distinct corrupt result-cache records hit (and quarantined)
+    since process start."""
+    return len(_CORRUPT_KEYS)
+
+
+def _quarantine(path: pathlib.Path, key: str, exc: Exception) -> None:
+    """Move a corrupt record aside (``.corrupt-<key>.json``, which the
+    dot prefix also hides from :meth:`ResultCache.entry_count`) so the
+    next lookup is an honest miss → recompile → overwrite, not an
+    eternal re-read of the same bad bytes.  A failed rename degrades
+    to the old leave-in-place behaviour."""
+    quarantined = path.with_name(f".corrupt-{key}.json")
+    try:
+        os.replace(path, quarantined)
+    except OSError:
+        quarantined = path
+    if key not in _CORRUPT_KEYS:
+        _CORRUPT_KEYS.add(key)
+        warnings.warn(
+            f"repro: result-cache record {path.name} is corrupt "
+            f"({type(exc).__name__}: {exc}); quarantined as "
+            f"{quarantined.name}, recompiling",
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
 
 def _unlink_quietly(path: str) -> None:
@@ -61,6 +102,9 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    #: Corrupt records this instance hit (each also quarantined and
+    #: counted process-wide by :func:`cache_corruption_count`).
+    corruptions: int = 0
 
     def describe(self) -> str:
         return f"{self.hits} hits, {self.misses} misses, {self.stores} stores"
@@ -88,8 +132,10 @@ class ResultCache:
     def get(self, key: str) -> Optional[Dict[str, object]]:
         """Return the cached record for ``key``, or ``None`` on a miss.
 
-        Any read/parse failure (missing file, truncated JSON, wrong
-        type) counts as a miss — the caller recompiles and overwrites.
+        A missing (or unreadable) file is a quiet miss; a *present but
+        unparsable* one is corruption — it is quarantined with a
+        warning (see :func:`_quarantine`) and then misses, so the
+        caller recompiles and the fresh store lands on a clean path.
         """
         if not self.enabled:
             return None
@@ -100,8 +146,13 @@ class ResultCache:
             record = entry["record"]
             if not isinstance(record, dict):
                 raise ValueError("record is not an object")
-        except (OSError, ValueError, KeyError, TypeError):
+        except OSError:
             self.stats.misses += 1
+            return None
+        except (ValueError, KeyError, TypeError) as exc:
+            self.stats.misses += 1
+            self.stats.corruptions += 1
+            _quarantine(path, key, exc)
             return None
         self.stats.hits += 1
         return record
@@ -143,6 +194,7 @@ class ResultCache:
             _unlink_quietly(tmp)
             raise
         self.stats.stores += 1
+        _maybe_inject_corruption(path, key)
 
     def __contains__(self, key: str) -> bool:
         return self.enabled and self._path(key).is_file()
@@ -152,9 +204,28 @@ class ResultCache:
         version_dir = self.root / f"v{CACHE_SCHEMA_VERSION}"
         if not version_dir.is_dir():
             return 0
-        # Exclude .tmp-* orphans left by a killed writer.
+        # Exclude .tmp-* orphans left by a killed writer and
+        # .corrupt-* quarantine leftovers.
         return sum(
             1
             for p in version_dir.glob("*/*.json")
             if not p.name.startswith(".")
         )
+
+
+def _maybe_inject_corruption(path: pathlib.Path, key: str) -> None:
+    """Chaos hook: when ``$REPRO_FAULTS`` arms ``corrupt_cache``,
+    truncate the record just written so the *next* lookup exercises the
+    quarantine path (see :mod:`repro.batch.faults`).  Free when the
+    harness is off — one cached env check."""
+    from .faults import active_plan
+
+    plan = active_plan()
+    if plan is None or not plan.should("corrupt_cache", key):
+        return
+    try:
+        size = os.path.getsize(path)
+        with open(path, "r+b") as fh:
+            fh.truncate(max(1, size // 2))
+    except OSError:
+        pass

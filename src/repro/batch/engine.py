@@ -11,8 +11,10 @@ objects ever cross a process boundary.
 
 Scheduling notes
 ----------------
-* ``jobs=1`` (or a single pending job) runs inline in this process —
-  no pool, easier debugging, identical results.
+* ``jobs=1`` (or a single pending job without a watchdog) runs inline
+  in this process — no pool, easier debugging, identical results.
+  Watchdog timeouts, retries and fault injection are pool features;
+  inline mode trades them for debuggability.
 * The parent resolves the subcircuit library (persistent disk cache,
   falling back to one characterization) before spawning workers; a
   pool initializer then warms every child from the same artifact, so
@@ -23,22 +25,57 @@ Scheduling notes
   deterministic), unexpected compiler errors as ``status="error"``
   (not cached).  A sweep never dies half way because one grid corner
   cannot meet timing.
+
+Resilience (see :mod:`repro.batch.resilience` and
+``docs/robustness.md``)
+----------------------------------------------------------------------
+* ``job_timeout_s`` arms a watchdog: jobs are dispatched in a sliding
+  window (never more in flight than workers, so dispatch ≈ start),
+  each future carries a deadline, and an overdue future gets its pool
+  killed and recycled rather than hanging the sweep forever.
+* Transient failures — a broken pool, a watchdog kill, a future that
+  raised with the pool alive — are retried under a
+  :class:`~repro.batch.resilience.RetryPolicy` with exponential
+  backoff; only an exhausted budget yields terminal
+  ``error``/``timeout`` records, annotated with ``attempts`` and
+  ``retry_history``.
+* Every run with a cache root keeps a write-ahead
+  :class:`~repro.batch.resilience.SweepJournal`;
+  ``BatchCompiler(resume=<run id>)`` restores finished records from it
+  and executes only the remainder.
+* ``$REPRO_FAULTS`` (see :mod:`repro.batch.faults`) deterministically
+  crashes, hangs or corrupts on demand, so every path above is an
+  ordinary test subject.
 """
 
 from __future__ import annotations
 
 import copy
 import os
+import pathlib
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
+import warnings
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from ..arch import MacroArchitecture
+from ..errors import BatchError
 from ..spec import MacroSpec
 from ..verify.harness import DEFAULT_VECTORS
-from .cache import ResultCache
+from .cache import ResultCache, default_cache_dir
+from .faults import FaultPlan, active_plan
 from .jobs import CompileJob, ImplementJob
+from .resilience import PoolOutcome, RetryPolicy, SweepJournal, new_run_id
 
 Job = Union[CompileJob, ImplementJob]
 Record = Dict[str, object]
@@ -56,7 +93,16 @@ class BatchStats:
     compiled: int = 0
     infeasible: int = 0
     failed: int = 0
+    #: Jobs whose record is a terminal watchdog timeout.
+    timeouts: int = 0
+    #: Unique jobs that needed at least one transient-failure retry.
+    retried: int = 0
+    #: Jobs restored from a previous run's write-ahead journal.
+    resumed: int = 0
     elapsed_s: float = 0.0
+    #: Journal identity of this run (``--resume`` takes it); ``None``
+    #: when journaling was off.
+    run_id: Optional[str] = None
 
     @property
     def deduplicated(self) -> int:
@@ -67,13 +113,25 @@ class BatchStats:
         return self.unique - self.cache_hits
 
     def cache_line(self) -> str:
-        """The one-line summary every batch CLI run prints; ``compiled 0``
-        is the proof that a repeated sweep ran entirely from cache."""
-        return (
+        """The one-line summary every batch CLI run prints; ``compiled
+        0`` is the proof that a repeated sweep ran entirely from cache,
+        and the recovery clause is the proof of what the resilience
+        layer had to absorb."""
+        line = (
             f"cache: {self.cache_hits} hits, {self.cache_misses} misses; "
             f"compiled {self.compiled}, folded {self.deduplicated} "
             f"duplicate jobs; elapsed {self.elapsed_s:.1f}s"
         )
+        recovery = []
+        if self.retried:
+            recovery.append(f"retried {self.retried}")
+        if self.resumed:
+            recovery.append(f"resumed {self.resumed}")
+        if self.timeouts:
+            recovery.append(f"timeouts {self.timeouts}")
+        if recovery:
+            line += "; recovery: " + ", ".join(recovery)
+        return line
 
 
 @dataclass
@@ -99,7 +157,8 @@ class BatchResult:
             f"batch of {self.stats.total} jobs: "
             f"{statuses.count('ok')} ok, "
             f"{statuses.count('infeasible')} infeasible, "
-            f"{statuses.count('error')} failed",
+            f"{statuses.count('error')} failed, "
+            f"{statuses.count('timeout')} timed out",
             self.stats.cache_line(),
         ]
         return "\n".join(lines)
@@ -130,6 +189,24 @@ class BatchCompiler:
         implemented netlist with that many randomized + directed MAC
         stimuli against the golden model and the record carries the
         report — functional verification as a batch workload.
+    job_timeout_s:
+        Per-job watchdog deadline (pool mode only): an overdue worker
+        is killed with its pool and the job retried; after the retry
+        budget it records ``status="timeout"``.  ``None`` (default)
+        disables the watchdog.
+    retry:
+        :class:`~repro.batch.resilience.RetryPolicy` for transient
+        failures; the default (two attempts, no backoff) matches the
+        engine's historical single-retry behaviour.
+    resume:
+        A previous run's id (``BatchStats.run_id``): finished records
+        are restored from its write-ahead journal and only the
+        remainder executes.  Raises
+        :class:`~repro.errors.BatchError` for an unknown id.
+    journal:
+        Force journaling on/off; the default (``None``) journals
+        whenever a cache root exists (``use_cache=True`` or an
+        explicit ``cache_dir``).
     progress:
         Optional callback invoked after each job resolves.
     """
@@ -145,6 +222,10 @@ class BatchCompiler:
         verify: bool = False,
         verify_vectors: int = DEFAULT_VECTORS,
         vt: str = "svt",
+        job_timeout_s: Optional[float] = None,
+        retry: Optional[RetryPolicy] = None,
+        resume: Optional[str] = None,
+        journal: Optional[bool] = None,
     ) -> None:
         self.jobs = max(1, jobs if jobs is not None else (os.cpu_count() or 1))
         if use_cache:
@@ -160,6 +241,44 @@ class BatchCompiler:
         #: Threshold-flavor policy forwarded to every compile job.
         self.vt = vt
         self.progress = progress
+        if job_timeout_s is not None and job_timeout_s <= 0:
+            raise BatchError("job_timeout_s must be positive")
+        self.job_timeout_s = job_timeout_s
+        self.retry = retry if retry is not None else RetryPolicy()
+        self._journal_root = self._resolve_journal_root(
+            journal, cache_dir, use_cache
+        )
+        self._resume = resume
+        if resume is not None and self._journal_root is None:
+            raise BatchError(
+                "resume requires a journal root: enable the cache or "
+                "pass cache_dir"
+            )
+        #: The id this run journals under (and prints, so a killed
+        #: sweep can come back as ``--resume <run_id>``).
+        self.run_id: Optional[str] = (
+            resume
+            if resume is not None
+            else (new_run_id() if self._journal_root is not None else None)
+        )
+
+    def _resolve_journal_root(
+        self,
+        journal: Optional[bool],
+        cache_dir: Optional[os.PathLike],
+        use_cache: bool,
+    ) -> Optional[pathlib.Path]:
+        if journal is False:
+            return None
+        if self.cache is not None:
+            return self.cache.root
+        if cache_dir is not None:
+            return pathlib.Path(cache_dir).expanduser()
+        if journal is True:
+            return default_cache_dir()
+        # No cache root and journaling not requested: stay off rather
+        # than surprise-writing under the user's home directory.
+        return None
 
     # -- job construction ---------------------------------------------------
 
@@ -215,7 +334,8 @@ class BatchCompiler:
     # -- execution ----------------------------------------------------------
 
     def run_jobs(self, jobs: Sequence[Job]) -> BatchResult:
-        """Dedup, consult the cache, execute the rest, reassemble."""
+        """Dedup, consult journal + cache, execute the rest (with
+        watchdog/retry when pooled), reassemble."""
         from ..compiler.syndcim import (
             CACHEABLE_STATUSES,
             _failure_record,
@@ -223,16 +343,31 @@ class BatchCompiler:
         )
 
         started = time.monotonic()
-        stats = BatchStats(total=len(jobs))
+        stats = BatchStats(total=len(jobs), run_id=self.run_id)
         keys = [job.key() for job in jobs]
         by_key: Dict[str, Job] = {}
         for key, job in zip(keys, jobs):
             by_key.setdefault(key, job)
         stats.unique = len(by_key)
 
+        journal: Optional[SweepJournal] = None
+        resumed: Dict[str, Record] = {}
+        if self._journal_root is not None:
+            if self._resume is not None:
+                resumed = SweepJournal.load(self._journal_root, self._resume)
+            journal = SweepJournal(self._journal_root, run_id=self.run_id)
+
         resolved: Dict[str, Record] = {}
         pending: Dict[str, Job] = {}
         for key, job in by_key.items():
+            if key in resumed:
+                # Journal beats cache: it also holds the error/timeout
+                # records the cache deliberately refuses to store.
+                stats.resumed += 1
+                resolved[key] = dict(
+                    resumed[key], cached=False, resumed=True, job_key=key
+                )
+                continue
             cached = self.cache.get(key) if self.cache is not None else None
             if cached is not None:
                 stats.cache_hits += 1
@@ -240,56 +375,83 @@ class BatchCompiler:
             else:
                 pending[key] = job
 
-        done = stats.cache_hits
+        done = stats.cache_hits + stats.resumed
 
-        def finish(key: str, record: Record, compiled: bool = True) -> None:
+        #: Transient-failure bookkeeping, keyed by job key: attempts
+        #: consumed so far, and one history entry per failed attempt.
+        attempts: Dict[str, int] = {}
+        history: Dict[str, List[Dict[str, object]]] = {}
+
+        def finish(
+            key: str,
+            record: Record,
+            compiled: bool = True,
+            cacheable: Optional[Record] = None,
+        ) -> None:
+            """Account one terminal record.  ``cacheable`` is the pure
+            (bookkeeping-free) record to persist, when it differs from
+            ``record`` — cached entries must stay bit-identical to a
+            fault-free run's output."""
             nonlocal done
             if compiled:
                 stats.compiled += 1
-            status = record.get("status")
-            if self.cache is not None and status in CACHEABLE_STATUSES:
-                self.cache.put(key, record)
+            store = record if cacheable is None else cacheable
+            if self.cache is not None and store.get("status") in CACHEABLE_STATUSES:
+                self.cache.put(key, store)
+            if journal is not None:
+                journal.done(key, record)
             record = dict(record, cached=False, job_key=key)
             resolved[key] = record
             done += 1
             if self.progress is not None:
                 self.progress(done, stats.unique, record)
 
+        def finish_executed(key: str, record: Record) -> None:
+            """A record that came back from an execution: annotate the
+            retry bookkeeping (if any) without contaminating the
+            cached copy."""
+            past = history.get(key)
+            if past:
+                annotated = dict(
+                    record,
+                    attempts=attempts.get(key, 0) + 1,
+                    retry_history=list(past),
+                )
+                finish(key, annotated, cacheable=record)
+            else:
+                finish(key, record)
+
         if self.progress is not None:
             for i, record in enumerate(resolved.values(), start=1):
                 self.progress(i, stats.unique, record)
 
-        if pending:
-            if self.jobs > 1 and len(pending) > 1:
-                self._prewarm()
-                self._prewarm_corners(pending.values())
-                # A broken pool (a worker OOM-killed or segfaulted)
-                # must not poison the jobs that never ran: retry the
-                # unfinished remainder in a fresh pool once, and only
-                # then give the stragglers error records.
-                remaining = dict(pending)
-                fatal: Optional[str] = None
-                for _attempt in range(2):
-                    if not remaining:
-                        break
-                    remaining, fatal = self._run_pool(remaining, finish)
-                    if fatal is None:
-                        break
-                for key, job in remaining.items():
-                    finish(
-                        key,
-                        dict(
-                            _failure_record(
-                                job.spec, "error", f"worker died: {fatal}"
-                            ),
-                            elapsed_s=0.0,
-                        ),
-                        compiled=False,
+        try:
+            if journal is not None:
+                journal.begin(total=stats.total, unique=stats.unique)
+                journal.submit(pending.keys())
+            if pending:
+                use_pool = self.jobs > 1 and (
+                    len(pending) > 1 or self.job_timeout_s is not None
+                )
+                if use_pool:
+                    self._prewarm()
+                    self._prewarm_corners(pending.values())
+                    self._run_resilient(
+                        pending,
+                        finish,
+                        finish_executed,
+                        attempts,
+                        history,
+                        _failure_record,
                     )
-            else:
-                for key, job in pending.items():
-                    finish(key, execute_job(job.payload()))
+                else:
+                    for key, job in pending.items():
+                        finish_executed(key, execute_job(job.payload()))
+        finally:
+            if journal is not None:
+                journal.close()
 
+        stats.retried = sum(1 for n in attempts.values() if n > 0)
         # Deep copies so duplicate input specs don't alias nested dicts,
         # and status tallies over the *returned* records (cache hits
         # included — finish() never sees them).
@@ -297,67 +459,253 @@ class BatchCompiler:
         statuses = [r.get("status") for r in records]
         stats.infeasible = statuses.count("infeasible")
         stats.failed = statuses.count("error")
+        stats.timeouts = statuses.count("timeout")
         stats.elapsed_s = time.monotonic() - started
         return BatchResult(records=records, stats=stats)
+
+    def _run_resilient(
+        self,
+        pending: Dict[str, Job],
+        finish: Callable[..., None],
+        finish_executed: Callable[[str, Record], None],
+        attempts: Dict[str, int],
+        history: Dict[str, List[Dict[str, object]]],
+        _failure_record: Callable[..., Record],
+    ) -> None:
+        """Pool passes until every pending job is terminal.
+
+        Each pass runs :meth:`_run_pool`; its casualties — watchdog
+        timeouts, single-future raises, pool-break victims — are
+        *transient* (see :mod:`repro.batch.resilience`) and re-enter
+        the next pass until :class:`RetryPolicy` says otherwise, at
+        which point they become terminal ``timeout``/``error`` records
+        carrying their full retry history.  Watchdog *collateral*
+        (jobs killed alongside an overdue one, or never started) re-runs
+        without being charged an attempt.
+        """
+        policy = self.retry
+        plan = active_plan()
+        remaining = dict(pending)
+        while remaining:
+            outcome = self._run_pool(
+                remaining, finish_executed, attempts, plan
+            )
+            if outcome.broken and plan is not None:
+                # The fault plan is deterministic on both sides of the
+                # pool: the parent knows exactly which in-flight job
+                # was scheduled to crash, so it alone is charged and
+                # its pool-mates re-run free.  Without a plan (a real
+                # OOM/segfault) the whole suspect set stays charged —
+                # the parent genuinely cannot tell.
+                culprits = {
+                    key: reason
+                    for key, reason in outcome.broken.items()
+                    if plan.planned(key, attempts.get(key, 0) + 1) == "crash"
+                }
+                if culprits:
+                    for key in outcome.broken:
+                        if key not in culprits:
+                            outcome.unfinished[key] = pending[key]
+                    outcome.broken = culprits
+            casualties: List[Tuple[str, str, str]] = []
+            for key, reason in outcome.timed_out.items():
+                casualties.append((key, "timeout", reason))
+            for key, reason in outcome.raised.items():
+                casualties.append((key, "error", f"worker died: {reason}"))
+            for key, reason in outcome.broken.items():
+                casualties.append((key, "error", f"worker died: {reason}"))
+            if outcome.fatal is not None and not outcome.broken:
+                # The pool broke before anything was in flight (e.g. a
+                # dying initializer): no identifiable suspects, so
+                # charge everything — the guard against retrying a
+                # pool that can never start, forever.
+                for key in outcome.unfinished:
+                    casualties.append(
+                        (key, "error", f"worker died: {outcome.fatal}")
+                    )
+            next_round: Dict[str, Job] = {}
+            delay = 0.0
+            for key, status, reason in casualties:
+                n = attempts.get(key, 0) + 1
+                attempts[key] = n
+                fault = None if plan is None else plan.planned(key, n)
+                entry: Dict[str, object] = {
+                    "attempt": n,
+                    "outcome": status,
+                    "reason": reason,
+                }
+                if fault is not None:
+                    entry["fault"] = fault
+                history.setdefault(key, []).append(entry)
+                if n < policy.max_attempts:
+                    next_round[key] = pending[key]
+                    delay = max(delay, policy.delay(n))
+                else:
+                    record = dict(
+                        _failure_record(pending[key].spec, status, reason),
+                        elapsed_s=0.0,
+                        attempts=n,
+                        retry_history=list(history[key]),
+                    )
+                    if fault is not None:
+                        record["fault"] = fault
+                    finish(key, record, compiled=False)
+            if outcome.fatal is None or outcome.broken:
+                # Uncharged survivors (never dispatched, or watchdog /
+                # pool-break collateral) re-run without spending their
+                # retry budget on somebody else's failure.
+                for key, job in outcome.unfinished.items():
+                    next_round.setdefault(key, job)
+            remaining = next_round
+            if remaining and delay > 0:
+                time.sleep(delay)
 
     def _run_pool(
         self,
         jobs_map: Dict[str, Job],
-        finish: Callable[..., None],
-    ) -> "tuple[Dict[str, Job], Optional[str]]":
+        finish_executed: Callable[[str, Record], None],
+        attempts: Dict[str, int],
+        plan: Optional[FaultPlan],
+    ) -> PoolOutcome:
         """One process-pool pass over ``jobs_map``.
 
-        Returns (unfinished jobs, fatal reason): ``fatal`` is set when
-        the pool broke (a worker process died), in which case the
-        unfinished jobs were never attempted and are safe to retry.
+        Jobs are dispatched in a sliding window (in-flight count never
+        exceeds the worker count), so a future's submit time is its
+        start time for watchdog purposes.  Three exits:
+
+        * clean — every job finished (or individually raised);
+        * watchdog — an overdue future was detected: the pool is
+          killed, the overdue jobs land in ``timed_out``, everything
+          else unfinished returns for an uncharged re-run;
+        * pool break — a worker died: ``fatal`` is set, the jobs in
+          flight at the break (the only possible culprits, at most one
+          per worker) land in ``broken``, and the never-dispatched
+          remainder returns for an uncharged re-run.
+
         If the caller's ``finish`` raises (e.g. the CLI aborting on a
         closed output pipe), unstarted futures are cancelled so the
         grid does not keep compiling into the void.
         """
         from concurrent.futures.process import BrokenProcessPool
 
-        from ..compiler.syndcim import _failure_record, execute_job
+        from ..compiler.syndcim import execute_job
 
-        unfinished = dict(jobs_map)
-        fatal: Optional[str] = None
+        outcome = PoolOutcome(unfinished=dict(jobs_map))
         workers = min(self.jobs, len(jobs_map))
+        deadline_s = self.job_timeout_s
+        poll = (
+            None
+            if deadline_s is None
+            else max(0.02, min(0.25, deadline_s / 20))
+        )
+        queue = list(jobs_map.items())
+        next_i = 0
+        in_flight: Dict[object, Tuple[str, Optional[float]]] = {}
         with ProcessPoolExecutor(
             max_workers=workers, initializer=_worker_initializer
         ) as pool:
-            futures = {
-                pool.submit(execute_job, job.payload()): key
-                for key, job in jobs_map.items()
-            }
-            try:
-                for future in as_completed(futures):
-                    key = futures[future]
+
+            def submit_window() -> None:
+                nonlocal next_i
+                while next_i < len(queue) and len(in_flight) < workers:
+                    key, job = queue[next_i]
+                    next_i += 1
+                    payload = job.payload()
+                    if plan is not None:
+                        # Ephemeral context (never part of the job
+                        # key): lets workers compute the same fault
+                        # draws as the parent.
+                        payload["fault_ctx"] = {
+                            "key": key,
+                            "attempt": attempts.get(key, 0) + 1,
+                        }
                     try:
-                        record = future.result()
-                    except BrokenProcessPool as exc:
-                        fatal = f"{type(exc).__name__}: {exc}"
+                        future = pool.submit(execute_job, payload)
+                    except (BrokenProcessPool, RuntimeError) as exc:
+                        outcome.fatal = f"{type(exc).__name__}: {exc}"
+                        return
+                    in_flight[future] = (
+                        key,
+                        None
+                        if deadline_s is None
+                        else time.monotonic() + deadline_s,
+                    )
+
+            submit_window()
+            try:
+                while in_flight and outcome.fatal is None:
+                    ready, _ = wait(
+                        list(in_flight),
+                        timeout=poll,
+                        return_when=FIRST_COMPLETED,
+                    )
+                    for future in ready:
+                        key, _deadline = in_flight.pop(future)
+                        try:
+                            record = future.result()
+                        except BrokenProcessPool as exc:
+                            outcome.fatal = f"{type(exc).__name__}: {exc}"
+                            outcome.broken[key] = outcome.fatal
+                            outcome.unfinished.pop(key, None)
+                            break
+                        except Exception as exc:
+                            # A single-future failure with the pool
+                            # still alive (cancellation, an injected
+                            # raise): transient — the caller decides
+                            # whether to retry.
+                            outcome.raised[key] = (
+                                f"{type(exc).__name__}: {exc}"
+                            )
+                            outcome.unfinished.pop(key, None)
+                            continue
+                        finish_executed(key, record)
+                        outcome.unfinished.pop(key, None)
+                    if outcome.fatal is not None:
                         break
-                    except Exception as exc:
-                        # A single-future failure with the pool still
-                        # alive (e.g. cancelled): record it, move on.
-                        record = dict(
-                            _failure_record(
-                                unfinished[key].spec,
-                                "error",
-                                f"worker died: {type(exc).__name__}: {exc}",
-                            ),
-                            elapsed_s=0.0,
-                        )
-                        finish(key, record, compiled=False)
-                        unfinished.pop(key, None)
-                        continue
-                    finish(key, record)
-                    unfinished.pop(key, None)
+                    if deadline_s is not None:
+                        now = time.monotonic()
+                        overdue = [
+                            (future, key)
+                            for future, (key, deadline) in in_flight.items()
+                            if deadline is not None and now >= deadline
+                        ]
+                        if overdue:
+                            for future, key in overdue:
+                                outcome.timed_out[key] = (
+                                    "watchdog: exceeded job timeout "
+                                    f"{deadline_s:g}s"
+                                )
+                                outcome.unfinished.pop(key, None)
+                                in_flight.pop(future, None)
+                            # Running futures cannot be cancelled:
+                            # kill the pool, recycle on the next pass.
+                            self._kill_pool(pool)
+                            break
+                    submit_window()
             except BaseException:
                 pool.shutdown(wait=False, cancel_futures=True)
                 raise
-            if fatal is not None:
+            if outcome.fatal is not None:
+                # Everything still in flight shared the broken pool:
+                # they are the suspect set the retry loop charges.
+                for future, (key, _deadline) in in_flight.items():
+                    outcome.broken.setdefault(key, outcome.fatal)
+                    outcome.unfinished.pop(key, None)
                 pool.shutdown(wait=False, cancel_futures=True)
-        return unfinished, fatal
+        return outcome
+
+    @staticmethod
+    def _kill_pool(pool: ProcessPoolExecutor) -> None:
+        """Terminate every worker, then tear the executor down without
+        waiting on futures that will never complete.  Reaches into the
+        executor's process table — there is no public kill switch, and
+        a missing table (API drift) degrades to a plain shutdown."""
+        for proc in list(getattr(pool, "_processes", {}).values()):
+            try:
+                proc.terminate()
+            except Exception:
+                pass
+        pool.shutdown(wait=False, cancel_futures=True)
 
     def map(self, fn: Callable, items: Iterable) -> List[object]:
         """Order-preserving parallel map over picklable ``fn``/``items``
@@ -401,7 +749,11 @@ class BatchCompiler:
         first ever run) so every worker loads the corner artifact from
         disk.  Shares the compiler's resolution
         (:func:`repro.signoff.corners.worst_corner_scl`), so the
-        prewarmed artifact is exactly the one workers will ask for."""
+        prewarmed artifact is exactly the one workers will ask for.
+        Failure is survivable (workers characterize lazily) but not
+        silent: a one-per-process warning names the cause, so a
+        misconfigured cache dir reads as a warning, not a mystery
+        slowdown."""
         if not self.corners:
             return
         try:
@@ -411,19 +763,41 @@ class BatchCompiler:
             corner_set = CornerSet.from_names(self.corners, name="prewarm")
             for name in {job.process_name for job in jobs}:
                 worst_corner_scl(process_by_name(name), corner_set)
-        except Exception:  # pragma: no cover - best-effort warmup
-            pass
+        except Exception as exc:
+            global _PREWARM_WARNED
+            if not _PREWARM_WARNED:
+                _PREWARM_WARNED = True
+                warnings.warn(
+                    "repro: corner-SCL prewarm failed "
+                    f"({type(exc).__name__}: {exc}); workers will "
+                    "characterize lazily — expect a slow first job "
+                    "per process",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+
+
+#: Once-per-process latch for the corner-prewarm warning above.
+_PREWARM_WARNED = False
 
 
 def _worker_initializer() -> None:
     """Pool-worker startup hook: load the SCL from the persistent cache
     (or inherit it under fork) before the first job lands, so per-job
-    latencies measure compilation, not characterization.  Failures are
-    deliberately swallowed — a worker that cannot preload will simply
-    build lazily on first use, exactly as before."""
+    latencies measure compilation, not characterization.  A worker that
+    cannot preload still works — it builds lazily on first use — but
+    says so once (this hook runs once per process), because a
+    misconfigured cache dir showing up as a uniform slowdown is the
+    kind of mystery that eats an afternoon."""
     try:
         from ..scl.library import default_scl
 
         default_scl()
-    except Exception:  # pragma: no cover - best-effort warmup
-        pass
+    except Exception as exc:
+        warnings.warn(
+            "repro: batch worker could not preload the subcircuit "
+            f"library ({type(exc).__name__}: {exc}); jobs will "
+            "characterize lazily — check the SCL cache directory",
+            RuntimeWarning,
+            stacklevel=2,
+        )

@@ -11,6 +11,11 @@ Two jobs get the same key iff a compliant compiler would produce the
 same record for both — so the key covers the spec, every option that
 steers the flow, the process node and the schema version, and nothing
 else (no timestamps, no hostnames, no object ids).
+
+The engine may graft *ephemeral* keys onto a payload after hashing
+(:data:`EPHEMERAL_PAYLOAD_KEYS`) — per-attempt context the worker
+consumes before the job runs.  They are never produced by
+:meth:`payload` itself, so the key stays a pure function of the work.
 """
 
 from __future__ import annotations
@@ -25,6 +30,12 @@ from ..spec import MacroSpec
 from ..tech.process import GENERIC_40NM
 from ..verify.harness import DEFAULT_VECTORS
 from .cache import CACHE_SCHEMA_VERSION
+
+#: Keys the engine may add to a payload *after* hashing: ephemeral
+#: per-attempt context (currently the fault-injection coordinates),
+#: popped by :func:`repro.compiler.syndcim.execute_job` before the job
+#: runs and never part of :meth:`CompileJob.key`.
+EPHEMERAL_PAYLOAD_KEYS = ("fault_ctx",)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,231 @@
+"""Resilience layer for the batch engine: failure taxonomy, retry
+policy and the crash-safe write-ahead journal.
+
+The engine's contract is that a sweep always terminates with one
+*terminal* record per requested point — ``ok`` / ``infeasible`` /
+``error`` / ``timeout`` — no matter what the workers do.  This module
+holds the three pieces that make that true (the fourth, fault
+injection, lives in :mod:`repro.batch.faults`):
+
+Failure taxonomy
+----------------
+*Deterministic* failures are properties of the job itself: an
+infeasible spec, a compile error raised inside the worker and mapped
+to a record.  Re-running them reproduces them, so they are **never
+retried** (and ``infeasible`` is even cached).
+
+*Transient* failures are properties of the environment: a worker
+process dying (``BrokenProcessPool`` — OOM kill, segfault, injected
+crash), a watchdog timeout, a future that raised with the pool still
+alive.  The job itself might be fine, so these are **retried** under a
+:class:`RetryPolicy` with exponential backoff, and only after the
+budget is exhausted do they become terminal ``error``/``timeout``
+records carrying ``attempts`` and ``retry_history``.
+
+Write-ahead journal
+-------------------
+:class:`SweepJournal` appends one JSONL line per event under
+``<cache root>/journal/<run id>.jsonl``:
+
+* ``{"event": "begin", "run": ..., "total": N, "unique": M}`` once per
+  :meth:`~repro.batch.engine.BatchCompiler.run_jobs` call;
+* ``{"event": "submit", "key": ...}`` for every job key about to
+  execute (the write-ahead half: a killed run knows what it owed);
+* ``{"event": "done", "key": ..., "record": {...}}`` for every
+  terminal record (the completion half: a killed run knows what it
+  finished — including the ``error``/``timeout`` records the result
+  cache deliberately refuses to store).
+
+``BatchCompiler(resume=<run id>)`` / ``--resume <run id>`` loads the
+``done`` map and re-executes only the unfinished remainder; resumed
+records are stamped ``resumed=True`` and counted in
+``BatchStats.resumed``.  Journal writes degrade silently (a full disk
+must never abort the sweep it was protecting); loads of an unknown run
+id raise :class:`~repro.errors.BatchError`.
+
+See ``docs/robustness.md`` for the full semantics table.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import random
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, TextIO
+
+from ..errors import BatchError
+
+#: Statuses a worker-produced record can carry — all deterministic,
+#: none retried (see module docstring).
+DETERMINISTIC_STATUSES = ("ok", "infeasible", "error")
+
+#: Pool-level failure classes the engine retries (the record never
+#: came back, so there is no status yet): a broken pool, a watchdog
+#: kill, a single future raising with the pool alive.
+TRANSIENT_FAILURES = ("pool-break", "timeout", "worker-raise")
+
+#: Terminal statuses a finished batch may contain.  ``timeout`` is the
+#: only parent-synthesized status that survives a full retry budget.
+TERMINAL_STATUSES = ("ok", "infeasible", "error", "timeout")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Transient-failure budget: at most ``max_attempts`` tries per
+    job, sleeping ``backoff_s * 2**(attempt-1)`` (scaled up to
+    ``1 + jitter`` at random) between rounds.  The default matches the
+    engine's historical behaviour — one retry, no sleep."""
+
+    max_attempts: int = 2
+    backoff_s: float = 0.0
+    jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_s < 0 or self.jitter < 0:
+            raise ValueError("backoff_s and jitter must be >= 0")
+
+    def delay(self, attempt: int) -> float:
+        """Sleep before re-running a job whose ``attempt``-th try
+        failed transiently."""
+        base = self.backoff_s * (2 ** max(0, attempt - 1))
+        if base and self.jitter:
+            base *= 1.0 + random.random() * self.jitter
+        return base
+
+
+@dataclass
+class PoolOutcome:
+    """What one process-pool pass left behind.
+
+    ``unfinished`` jobs never produced a verdict (never dispatched, or
+    watchdog collateral) and re-run without being charged an attempt;
+    ``timed_out``, ``raised`` and ``broken`` map job keys to reason
+    strings for jobs charged a transient failure — watchdog-overdue,
+    raised with the pool alive, and in flight when the pool broke
+    (the sliding-window dispatch keeps the suspect set at most one
+    per worker, so a crash cannot burn the whole queue's retry
+    budget); ``fatal`` carries the pool-break reason when the pass
+    ended early.
+    """
+
+    unfinished: Dict[str, object] = field(default_factory=dict)
+    timed_out: Dict[str, str] = field(default_factory=dict)
+    raised: Dict[str, str] = field(default_factory=dict)
+    broken: Dict[str, str] = field(default_factory=dict)
+    fatal: Optional[str] = None
+
+
+def new_run_id() -> str:
+    """Sortable-by-start-time, collision-safe run identifier."""
+    return time.strftime("%Y%m%d-%H%M%S") + "-" + uuid.uuid4().hex[:6]
+
+
+def journal_dir(root: pathlib.Path) -> pathlib.Path:
+    return pathlib.Path(root).expanduser() / "journal"
+
+
+class SweepJournal:
+    """Append-only JSONL write-ahead journal for one batch run (see
+    module docstring for the line schema).
+
+    Lines are flushed as written, so a ``kill -9`` loses at most the
+    record in flight; :meth:`load` tolerates a torn final line.  Any
+    filesystem refusal disables the journal for the rest of the run —
+    resumability degrades, the sweep itself never aborts.
+    """
+
+    def __init__(
+        self, root: pathlib.Path, run_id: Optional[str] = None
+    ) -> None:
+        self.run_id = run_id or new_run_id()
+        self.path = journal_dir(root) / f"{self.run_id}.jsonl"
+        self._fh: Optional[TextIO] = None
+        self._disabled = False
+
+    # -- writing ------------------------------------------------------------
+
+    def _write(self, obj: Dict[str, object]) -> None:
+        if self._disabled:
+            return
+        try:
+            if self._fh is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._fh = open(self.path, "a", encoding="utf-8")
+            self._fh.write(json.dumps(obj) + "\n")
+            self._fh.flush()
+        except (OSError, TypeError, ValueError):
+            self._disabled = True
+            self.close()
+
+    def begin(self, total: int, unique: int) -> None:
+        self._write(
+            {
+                "event": "begin",
+                "run": self.run_id,
+                "time": time.time(),
+                "total": total,
+                "unique": unique,
+            }
+        )
+
+    def submit(self, keys: Iterable[str]) -> None:
+        for key in keys:
+            self._write({"event": "submit", "key": key})
+
+    def done(self, key: str, record: Dict[str, object]) -> None:
+        self._write({"event": "done", "key": key, "record": record})
+
+    def close(self) -> None:
+        if self._fh is not None:
+            try:
+                self._fh.close()
+            except OSError:
+                pass
+            self._fh = None
+
+    # -- reading ------------------------------------------------------------
+
+    @staticmethod
+    def load(
+        root: pathlib.Path, run_id: str
+    ) -> Dict[str, Dict[str, object]]:
+        """The ``key -> terminal record`` map of a previous run.
+
+        Unparsable lines (a torn tail from a kill) are skipped; an
+        unknown run id raises :class:`~repro.errors.BatchError` so a
+        typo'd ``--resume`` fails loudly instead of silently
+        recompiling everything.
+        """
+        path = journal_dir(root) / f"{run_id}.jsonl"
+        if not path.is_file():
+            raise BatchError(
+                f"unknown run id {run_id!r}: no journal at {path}"
+            )
+        records: Dict[str, Dict[str, object]] = {}
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        entry = json.loads(line)
+                    except ValueError:
+                        continue  # torn final line from a kill
+                    if (
+                        isinstance(entry, dict)
+                        and entry.get("event") == "done"
+                        and isinstance(entry.get("record"), dict)
+                        and isinstance(entry.get("key"), str)
+                    ):
+                        records[entry["key"]] = entry["record"]
+        except OSError as exc:
+            raise BatchError(
+                f"cannot read journal for run {run_id!r}: {exc}"
+            ) from exc
+        return records

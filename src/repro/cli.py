@@ -26,12 +26,18 @@ Examples::
     python -m repro compile --verify             # 4096-vector signoff
     python -m repro verify --vectors 65536 --seed 7
     python -m repro sweep --height 32:128:x2 --frequency 400 800 -j 4
+    python -m repro sweep ... --job-timeout 300 --retries 2
+    python -m repro sweep ... --resume 20260807-101500-ab12cd
+
+Long sweeps are fault-tolerant: per-job watchdog timeouts, transient-
+failure retries and a crash-safe resume journal (docs/robustness.md).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional, Sequence
 
@@ -294,6 +300,27 @@ def _add_batch_exec_args(
         "--seed", type=int, default=None,
         help="search-order seed (recorded in the cache key)",
     )
+    parser.add_argument(
+        "--job-timeout", type=float, default=None, metavar="S",
+        help="per-job watchdog deadline in seconds: an overdue worker "
+        "is killed (with its pool) and the job retried; after the "
+        "retry budget it records status='timeout' instead of hanging "
+        "the sweep (pool mode only; see docs/robustness.md)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=1, metavar="N",
+        help="transient-failure retry budget per job — pool breaks, "
+        "watchdog timeouts and single-worker failures re-run up to N "
+        "times with exponential backoff before going terminal "
+        "(default 1; see docs/robustness.md)",
+    )
+    parser.add_argument(
+        "--resume", metavar="RUN_ID", default=None,
+        help="resume a killed/crashed run from its write-ahead "
+        "journal: finished jobs are restored and only the unfinished "
+        "remainder recompiles (run ids print at sweep start; see "
+        "docs/robustness.md)",
+    )
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -301,8 +328,6 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if getattr(args, "no_scl_cache", False):
         # Through the environment so batch workers inherit the choice
         # regardless of the multiprocessing start method.
-        import os
-
         os.environ["REPRO_SCL_CACHE"] = "off"
     try:
         return _dispatch(args)
@@ -521,6 +546,24 @@ def _execute_batch(specs: List[MacroSpec], args: argparse.Namespace) -> int:
         streamed.add(record.get("job_key"))
 
     corner_set = _parse_corners_arg(args)
+    from .batch.faults import ENV_FAULTS, FaultPlan, active_plan
+
+    # A typo'd chaos spec must fail loudly at arm time, not run a
+    # clean sweep that "passes" (the library itself only warns and
+    # disarms, because workers must never die to a bad environment).
+    fault_text = os.environ.get(ENV_FAULTS)
+    if fault_text:
+        try:
+            FaultPlan.parse(fault_text)
+        except SynDCIMError as exc:
+            print(f"error: {ENV_FAULTS}: {exc}", file=sys.stderr)
+            return 1
+        plan = active_plan()
+        if plan is not None:
+            say(plan.describe())
+
+    from .batch.resilience import RetryPolicy
+
     engine = BatchCompiler(
         jobs=args.jobs,
         cache_dir=args.cache_dir,
@@ -531,7 +574,24 @@ def _execute_batch(specs: List[MacroSpec], args: argparse.Namespace) -> int:
         verify=args.verify,
         verify_vectors=args.verify_vectors,
         vt=getattr(args, "vt", "svt"),
+        job_timeout_s=args.job_timeout,
+        retry=RetryPolicy(
+            max_attempts=max(0, args.retries) + 1,
+            backoff_s=0.5,
+            jitter=0.1,
+        ),
+        resume=args.resume,
     )
+    # The run id prints *before* compilation: a sweep killed mid-grid
+    # must already have told the user how to come back for it.
+    if engine.run_id:
+        if args.resume:
+            say(f"resuming run {engine.run_id}")
+        else:
+            say(
+                f"run {engine.run_id} (if interrupted, finish with "
+                f"--resume {engine.run_id})"
+            )
     try:
         result = engine.compile_specs(
             specs, implement=not args.no_implement
@@ -569,7 +629,7 @@ def _execute_batch(specs: List[MacroSpec], args: argparse.Namespace) -> int:
     if write_failed:
         return 1
     return 1 if any(
-        r.get("status") == "error" for r in result.records
+        r.get("status") in ("error", "timeout") for r in result.records
     ) else 0
 
 

@@ -427,6 +427,10 @@ def _base_record(spec: MacroSpec) -> Dict[str, object]:
     return {
         "status": "ok",
         "error": None,
+        # Fault-injection marker: the chaos harness's fault kind when
+        # one was scheduled for the attempt that produced this record
+        # (see repro.batch.faults); None in every fault-free run.
+        "fault": None,
         "spec": spec.to_dict(),
         "spec_summary": spec.describe(),
         "spec_hash": spec.content_hash(),
@@ -480,7 +484,24 @@ def execute_job(payload: Dict[str, object]) -> Dict[str, object]:
     is cacheable; any other exception — compiler errors and plain bugs
     alike — as ``status="error"``, so one bad grid corner can never
     abort a sweep and discard its completed points.
+
+    The engine may graft ephemeral ``fault_ctx`` context onto the
+    payload (never part of the job key — see
+    :data:`repro.batch.jobs.EPHEMERAL_PAYLOAD_KEYS`): it carries the
+    (job key, attempt) coordinates the chaos harness needs to inject
+    deterministic worker faults.  Injection happens *before* the
+    record machinery on purpose — a ``raise`` fault must escape as a
+    worker exception (the single-future failure path), not be folded
+    into an error record.
     """
+    fault_ctx = payload.pop("fault_ctx", None)
+    if fault_ctx is not None:
+        from ..batch.faults import inject_worker_faults
+
+        inject_worker_faults(
+            str(fault_ctx.get("key", "")),  # type: ignore[union-attr]
+            int(fault_ctx.get("attempt", 1)),  # type: ignore[union-attr]
+        )
     spec = MacroSpec.from_dict(payload["spec"])  # type: ignore[arg-type]
     options: Dict[str, object] = dict(payload.get("options", {}))  # type: ignore[arg-type]
     job_type = payload.get("type", "compile")

@@ -37,3 +37,9 @@ class LayoutError(SynDCIMError):
 
 class SimulationError(SynDCIMError):
     """Functional or gate-level simulation failed."""
+
+
+class BatchError(SynDCIMError):
+    """Batch-engine orchestration failed (unknown resume run id,
+    unreadable journal, ...) — distinct from per-job failures, which
+    are data (``status="error"`` records), never exceptions."""

@@ -18,7 +18,7 @@ import pytest
 
 from repro.arch import MacroArchitecture
 from repro.batch.cache import ResultCache
-from repro.batch.engine import BatchCompiler
+from repro.batch.engine import BatchCompiler, BatchResult, BatchStats
 from repro.batch.jobs import CompileJob, ImplementJob
 from repro.batch.sweep import (
     expand_grid,
@@ -731,3 +731,41 @@ class TestBatchCLI:
         err = capsys.readouterr().err
         assert "error:" in err
         assert "entry 1" in err or "height" in err
+
+
+# -- recovery accounting (resilience counters in the CLI cache line) ---------
+
+
+class TestRecoveryStats:
+    def test_cache_line_quiet_when_nothing_recovered(self):
+        stats = BatchStats(total=4, unique=4, compiled=4)
+        assert "recovery" not in stats.cache_line()
+
+    def test_cache_line_reports_recovery_counters(self):
+        stats = BatchStats(
+            total=20,
+            unique=20,
+            compiled=8,
+            retried=3,
+            resumed=12,
+            timeouts=1,
+        )
+        line = stats.cache_line()
+        assert "recovery: retried 3, resumed 12, timeouts 1" in line
+
+    def test_cache_line_reports_partial_recovery(self):
+        line = BatchStats(total=2, unique=2, retried=2).cache_line()
+        assert line.endswith("recovery: retried 2")
+        assert "resumed" not in line
+        assert "timeouts" not in line
+
+    def test_describe_counts_timeouts(self):
+        result = BatchResult(
+            records=[
+                {"status": "ok"},
+                {"status": "timeout"},
+                {"status": "error"},
+            ],
+            stats=BatchStats(total=3, unique=3),
+        )
+        assert "1 ok, 0 infeasible, 1 failed, 1 timed out" in result.describe()
