@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test chaos bench perf perf-check perf-smoke lint install
+.PHONY: test chaos bench perf perf-check perf-smoke serve lint install
 
 test:  ## tier-1 suite: unit tests + benchmark reproductions
 	$(PYTHON) -m pytest -x -q
@@ -24,6 +24,11 @@ perf-check:  ## CI gate: latest perf entry vs checked-in baseline (>2x fails)
 
 perf-smoke:  ## CI guard: warm SCL load + single search under ceilings
 	$(PYTHON) -m pytest benchmarks/perf -q
+
+SERVE_ARGS ?= --port 8841 --workers 2 -j 2
+
+serve:  ## run the compile service (docs/service.md); override SERVE_ARGS
+	$(PYTHON) -m repro serve $(SERVE_ARGS)
 
 lint:  ## ruff, if installed (CI always runs it)
 	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \

@@ -15,6 +15,19 @@ Quickstart::
     compiler = SynDCIM()
     result = compiler.compile(spec)
     print(result.report())
+
+Stable API
+----------
+The names re-exported here — :class:`MacroSpec`, :class:`SynDCIM`,
+:class:`BatchCompiler`, :class:`CompileOptions`,
+:class:`ImplementSession`, :func:`verify_macro`,
+:func:`multi_corner_signoff`, :class:`ServiceClient`, the data formats
+and the exception hierarchy — are the blessed surface: they keep
+working across minor versions, and anything reachable only through a
+submodule path is internal and may move without notice.  New code
+should steer compilation through :class:`CompileOptions` (the one
+canonical spelling of corners/vt/verify/seed across the library, the
+CLI and the HTTP service) rather than per-call keyword soup.
 """
 
 from .spec import (
@@ -33,17 +46,20 @@ from .spec import (
 )
 from .arch import MacroArchitecture, architecture_space, default_architecture
 from .errors import (
+    BatchError,
     LayoutError,
     LibraryError,
     SearchError,
+    ServiceError,
     SimulationError,
     SpecificationError,
     SynDCIMError,
     SynthesisError,
     TimingError,
 )
+from .options import CompileOptions
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BF16",
@@ -61,20 +77,32 @@ __all__ = [
     "MacroArchitecture",
     "architecture_space",
     "default_architecture",
+    "BatchError",
     "LayoutError",
     "LibraryError",
     "SearchError",
+    "ServiceError",
     "SimulationError",
     "SpecificationError",
     "SynDCIMError",
     "SynthesisError",
     "TimingError",
+    "CompileOptions",
+    "SynDCIM",
+    "BatchCompiler",
+    "ImplementSession",
+    "ServiceClient",
+    "verify_macro",
+    "multi_corner_signoff",
     "__version__",
 ]
 
 
 def __getattr__(name: str):
-    """Lazy re-exports that would otherwise create import cycles."""
+    """Lazy re-exports: these pull heavy stacks (numpy, the batch
+    engine) or would create import cycles, so they resolve on first
+    touch — ``from repro import ServiceClient`` stays cheap in a thin
+    client process."""
     if name == "SynDCIM":
         from .compiler.syndcim import SynDCIM
 
@@ -83,4 +111,20 @@ def __getattr__(name: str):
         from .batch.engine import BatchCompiler
 
         return BatchCompiler
+    if name == "ImplementSession":
+        from .compiler.flow import ImplementSession
+
+        return ImplementSession
+    if name == "ServiceClient":
+        from .service.client import ServiceClient
+
+        return ServiceClient
+    if name == "verify_macro":
+        from .verify import verify_macro
+
+        return verify_macro
+    if name == "multi_corner_signoff":
+        from .signoff import multi_corner_signoff
+
+        return multi_corner_signoff
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

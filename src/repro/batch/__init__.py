@@ -27,13 +27,20 @@ search and implementation layers.
 from .cache import (
     CACHE_SCHEMA_VERSION,
     CacheStats,
+    MemoryResultStore,
     ResultCache,
+    ResultStore,
     cache_corruption_count,
 )
 from .engine import BatchCompiler, BatchResult, BatchStats
 from .faults import FaultPlan, active_plan
 from .jobs import CompileJob, ImplementJob
-from .resilience import RetryPolicy, SweepJournal
+from .resilience import (
+    RetryPolicy,
+    SweepJournal,
+    list_journals,
+    prune_journals,
+)
 from .sweep import expand_grid, parse_axis, parse_format_sets, parse_range
 
 __all__ = [
@@ -45,15 +52,19 @@ __all__ = [
     "CompileJob",
     "FaultPlan",
     "ImplementJob",
+    "MemoryResultStore",
     "ResultCache",
+    "ResultStore",
     "RetryPolicy",
     "SweepJournal",
     "active_plan",
     "cache_corruption_count",
     "expand_grid",
+    "list_journals",
     "parse_axis",
     "parse_format_sets",
     "parse_range",
+    "prune_journals",
 ]
 
 # NOTE: `summarize` is deliberately NOT re-exported here.  A lazy

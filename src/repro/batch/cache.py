@@ -20,18 +20,33 @@ the SCL cache's corruption accounting.
 
 The default root is ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``; every
 CLI entry point takes ``--cache-dir`` to override it.
+
+:class:`ResultStore` is the storage *interface* the batch engine and
+the compile service program against — ``get``/``put``/``entry_count``/
+``occupancy`` over plain-dict records.  :class:`ResultCache` is the
+default filesystem backend; :class:`MemoryResultStore` is the
+in-process backend (tests, cache-less services).  Long-lived services
+bound the filesystem backend with a size budget
+(``$REPRO_CACHE_BUDGET_MB`` or ``ResultCache(budget_mb=...)``): puts
+evict least-recently-used records past the budget, while quarantined
+``.corrupt-*`` evidence is *never* evicted silently — it counts toward
+usage and surfaces in :class:`CacheStats`/:meth:`ResultCache.occupancy`
+so an operator decides when the evidence has served its purpose.
 """
 
 from __future__ import annotations
 
+import copy
 import json
 import os
 import pathlib
 import tempfile
+import threading
 import time
 import warnings
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Set
+from typing import Dict, List, Optional, Set, Tuple
 
 #: Bump when the record schema changes incompatibly; old entries are
 #: simply never looked up again (they live under the old version dir).
@@ -95,6 +110,27 @@ def default_cache_dir() -> pathlib.Path:
     return pathlib.Path("~/.cache/repro").expanduser()
 
 
+#: Environment override for the result-store size budget (megabytes);
+#: unset/empty means unbounded (the historical behaviour).
+ENV_CACHE_BUDGET_MB = "REPRO_CACHE_BUDGET_MB"
+
+
+def _budget_from_env() -> Optional[float]:
+    text = os.environ.get(ENV_CACHE_BUDGET_MB)
+    if not text:
+        return None
+    try:
+        budget = float(text)
+    except ValueError:
+        warnings.warn(
+            f"repro: ignoring malformed {ENV_CACHE_BUDGET_MB}={text!r}",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return None
+    return budget if budget > 0 else None
+
+
 @dataclass
 class CacheStats:
     """Hit/miss counters for one cache instance's lifetime."""
@@ -105,26 +141,131 @@ class CacheStats:
     #: Corrupt records this instance hit (each also quarantined and
     #: counted process-wide by :func:`cache_corruption_count`).
     corruptions: int = 0
+    #: Records removed (and their bytes) by the size-budget LRU sweep.
+    evictions: int = 0
+    evicted_bytes: int = 0
+    #: Quarantined ``.corrupt-*`` files the last sweep *kept* — they
+    #: count toward the budget but are never silently evicted.
+    quarantine_kept: int = 0
 
     def describe(self) -> str:
-        return f"{self.hits} hits, {self.misses} misses, {self.stores} stores"
+        line = (
+            f"{self.hits} hits, {self.misses} misses, {self.stores} stores"
+        )
+        if self.evictions:
+            line += (
+                f", {self.evictions} evicted"
+                f" ({self.evicted_bytes / 1e6:.1f} MB)"
+            )
+        return line
+
+
+class ResultStore:
+    """Interface between record producers and record storage.
+
+    The batch engine and the compile service speak only this surface:
+    ``get(key) -> record | None``, ``put(key, record)``, membership,
+    and the occupancy accounting a ``/v1/stats`` endpoint reports.
+    Implementations must make ``get`` after ``put`` return an equal
+    record and must never let a storage failure raise into the run
+    that produced the record.
+    """
+
+    #: Hit/miss accounting every backend keeps.
+    stats: CacheStats
+
+    def get(self, key: str) -> Optional[Dict[str, object]]:
+        raise NotImplementedError
+
+    def put(self, key: str, record: Dict[str, object]) -> None:
+        raise NotImplementedError
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not None
+
+    def entry_count(self) -> int:
+        raise NotImplementedError
+
+    def occupancy(self) -> Dict[str, object]:
+        """Store-level accounting for stats endpoints; backends extend
+        with whatever they can measure (bytes, budget, quarantine)."""
+        return {"entries": self.entry_count()}
+
+
+class MemoryResultStore(ResultStore):
+    """Dict-backed :class:`ResultStore`: per-process, thread-safe,
+    optionally LRU-bounded by entry count.  The backend a cache-less
+    service uses so in-flight deduplication and result fetches still
+    work without touching the filesystem."""
+
+    def __init__(self, max_entries: Optional[int] = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._records: "OrderedDict[str, Dict[str, object]]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, key: str) -> Optional[Dict[str, object]]:
+        with self._lock:
+            record = self._records.get(key)
+            if record is None:
+                self.stats.misses += 1
+                return None
+            self._records.move_to_end(key)
+            self.stats.hits += 1
+            return copy.deepcopy(record)
+
+    def put(self, key: str, record: Dict[str, object]) -> None:
+        with self._lock:
+            self._records[key] = copy.deepcopy(record)
+            self._records.move_to_end(key)
+            self.stats.stores += 1
+            while (
+                self.max_entries is not None
+                and len(self._records) > self.max_entries
+            ):
+                self._records.popitem(last=False)
+                self.stats.evictions += 1
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._records
+
+    def entry_count(self) -> int:
+        with self._lock:
+            return len(self._records)
 
 
 @dataclass
-class ResultCache:
-    """Content-addressed JSON artifact store.
+class ResultCache(ResultStore):
+    """Content-addressed JSON artifact store (the default
+    :class:`ResultStore` backend).
 
     ``get``/``put`` speak plain dicts (the record schema of
     :mod:`repro.compiler.syndcim`); the cache neither inspects nor
     validates them beyond JSON round-tripping.
+
+    ``budget_mb`` (default ``$REPRO_CACHE_BUDGET_MB``, unset =
+    unbounded) arms the LRU size budget: a hit refreshes its record's
+    mtime, and a put past the budget evicts least-recently-used
+    records until usage fits.  Quarantined ``.corrupt-*`` evidence is
+    counted toward usage but never evicted (see module docstring).
     """
 
     root: pathlib.Path = field(default_factory=default_cache_dir)
     enabled: bool = True
     stats: CacheStats = field(default_factory=CacheStats)
+    budget_mb: Optional[float] = None
 
     def __post_init__(self) -> None:
         self.root = pathlib.Path(self.root).expanduser()
+        if self.budget_mb is None:
+            self.budget_mb = _budget_from_env()
+        #: Usage as of the last sweep plus bytes written since; None
+        #: until the first sweep.  Lets a put skip the directory walk
+        #: while demonstrably under budget.
+        self._tracked_bytes: Optional[int] = None
 
     def _path(self, key: str) -> pathlib.Path:
         return self.root / f"v{CACHE_SCHEMA_VERSION}" / key[:2] / f"{key}.json"
@@ -155,6 +296,13 @@ class ResultCache:
             _quarantine(path, key, exc)
             return None
         self.stats.hits += 1
+        if self.budget_mb is not None:
+            # Refresh recency so the LRU sweep sees hits, not just
+            # writes; a failed touch merely ages the entry early.
+            try:
+                os.utime(path)
+            except OSError:
+                pass
         return record
 
     def put(self, key: str, record: Dict[str, object]) -> None:
@@ -195,6 +343,7 @@ class ResultCache:
             raise
         self.stats.stores += 1
         _maybe_inject_corruption(path, key)
+        self._note_written(path)
 
     def __contains__(self, key: str) -> bool:
         return self.enabled and self._path(key).is_file()
@@ -211,6 +360,123 @@ class ResultCache:
             for p in version_dir.glob("*/*.json")
             if not p.name.startswith(".")
         )
+
+    # -- size budget --------------------------------------------------------
+
+    @property
+    def budget_bytes(self) -> Optional[int]:
+        return (
+            None if self.budget_mb is None else int(self.budget_mb * 1e6)
+        )
+
+    def _note_written(self, path: pathlib.Path) -> None:
+        """Amortized budget enforcement: track bytes written since the
+        last sweep and only walk the store when the running total could
+        exceed the budget."""
+        budget = self.budget_bytes
+        if budget is None:
+            return
+        try:
+            size = path.stat().st_size
+        except OSError:
+            size = 0
+        if self._tracked_bytes is not None:
+            self._tracked_bytes += size
+            if self._tracked_bytes <= budget:
+                return
+        self.enforce_budget()
+
+    def _scan(
+        self,
+    ) -> Tuple[List[Tuple[float, int, pathlib.Path]], int, int, int]:
+        """Walk every schema-version dir once: evictable records as
+        (mtime, size, path), plus total / quarantined byte and file
+        counts.  ``.tmp-*`` writer orphans are ignored."""
+        records: List[Tuple[float, int, pathlib.Path]] = []
+        total = 0
+        quarantined_bytes = 0
+        quarantined = 0
+        for version_dir in sorted(self.root.glob("v*")):
+            if not version_dir.is_dir():
+                continue
+            for path in version_dir.glob("*/*.json"):
+                name = path.name
+                if name.startswith(".tmp-"):
+                    continue
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                total += stat.st_size
+                if name.startswith("."):
+                    # Quarantined (or otherwise hidden) evidence:
+                    # counted, never evicted.
+                    quarantined += 1
+                    quarantined_bytes += stat.st_size
+                    continue
+                records.append((stat.st_mtime, stat.st_size, path))
+        return records, total, quarantined, quarantined_bytes
+
+    def enforce_budget(self) -> int:
+        """Evict least-recently-used records until usage fits the
+        budget; returns the number evicted.  No-op when unbounded.
+        Quarantined evidence survives every sweep — if it alone busts
+        the budget, that is reported (via :meth:`occupancy` and a
+        one-time warning), not silently resolved."""
+        budget = self.budget_bytes
+        if budget is None or not self.enabled:
+            return 0
+        records, usage, quarantined, quarantined_bytes = self._scan()
+        self.stats.quarantine_kept = quarantined
+        evicted = 0
+        if usage > budget:
+            records.sort()  # oldest mtime first
+            for _mtime, size, path in records:
+                if usage <= budget:
+                    break
+                try:
+                    os.unlink(path)
+                except OSError:
+                    continue
+                usage -= size
+                evicted += 1
+                self.stats.evictions += 1
+                self.stats.evicted_bytes += size
+        if usage > budget and quarantined_bytes:
+            # Everything evictable is gone and the store is still over:
+            # the overage is quarantined evidence, which only a human
+            # may delete.
+            self._warn_quarantine_over_budget(quarantined, quarantined_bytes)
+        self._tracked_bytes = usage
+        return evicted
+
+    _quarantine_warned = False
+
+    def _warn_quarantine_over_budget(self, count: int, size: int) -> None:
+        if self._quarantine_warned:
+            return
+        self._quarantine_warned = True
+        warnings.warn(
+            f"repro: result cache exceeds its budget but the excess is "
+            f"{count} quarantined .corrupt-* file(s) ({size / 1e6:.1f} "
+            f"MB), which are never evicted automatically; inspect and "
+            f"delete them under {self.root} to reclaim the space",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+
+    def occupancy(self) -> Dict[str, object]:
+        """Entries, bytes, quarantine and budget accounting (one walk)."""
+        records, usage, quarantined, quarantined_bytes = self._scan()
+        return {
+            "entries": len(records),
+            "bytes": usage,
+            "quarantined": quarantined,
+            "quarantined_bytes": quarantined_bytes,
+            "budget_mb": self.budget_mb,
+            "evictions": self.stats.evictions,
+            "evicted_bytes": self.stats.evicted_bytes,
+        }
 
 
 def _maybe_inject_corruption(path: pathlib.Path, key: str) -> None:

@@ -70,9 +70,10 @@ from typing import (
 
 from ..arch import MacroArchitecture
 from ..errors import BatchError
+from ..options import CompileOptions
 from ..spec import MacroSpec
 from ..verify.harness import DEFAULT_VECTORS
-from .cache import ResultCache, default_cache_dir
+from .cache import ResultCache, ResultStore, default_cache_dir
 from .faults import FaultPlan, active_plan
 from .jobs import CompileJob, ImplementJob
 from .resilience import PoolOutcome, RetryPolicy, SweepJournal, new_run_id
@@ -209,6 +210,20 @@ class BatchCompiler:
         explicit ``cache_dir``).
     progress:
         Optional callback invoked after each job resolves.
+    store:
+        An explicit :class:`~repro.batch.cache.ResultStore` backend to
+        consult and populate instead of constructing a
+        :class:`~repro.batch.cache.ResultCache` from
+        ``cache_dir``/``use_cache`` — how the compile service shares
+        one store across many engine runs.  Journaling follows the
+        store's filesystem ``root`` when it has one.
+    options:
+        A :class:`~repro.options.CompileOptions` bundle supplying
+        ``seed``/``corners``/``verify``/``verify_vectors``/``vt``/
+        ``job_timeout_s`` (and, via :meth:`~repro.options.
+        CompileOptions.retry_policy`, ``retry``) in one validated
+        object; the individual keyword arguments for those fields are
+        ignored when ``options`` is given.
     """
 
     def __init__(
@@ -226,12 +241,23 @@ class BatchCompiler:
         retry: Optional[RetryPolicy] = None,
         resume: Optional[str] = None,
         journal: Optional[bool] = None,
+        store: Optional[ResultStore] = None,
+        options: Optional[CompileOptions] = None,
     ) -> None:
+        self.options = options
+        if options is not None:
+            seed = options.seed
+            corners = options.corners
+            verify = options.verify
+            verify_vectors = options.verify_vectors
+            vt = options.vt
+            job_timeout_s = options.job_timeout_s
+            retry = options.retry_policy() if retry is None else retry
         self.jobs = max(1, jobs if jobs is not None else (os.cpu_count() or 1))
-        if use_cache:
-            self.cache: Optional[ResultCache] = (
-                ResultCache(cache_dir) if cache_dir else ResultCache()
-            )
+        if store is not None:
+            self.cache: Optional[ResultStore] = store if use_cache else None
+        elif use_cache:
+            self.cache = ResultCache(cache_dir) if cache_dir else ResultCache()
         else:
             self.cache = None
         self.seed = seed
@@ -271,7 +297,11 @@ class BatchCompiler:
         if journal is False:
             return None
         if self.cache is not None:
-            return self.cache.root
+            # Memory-backed stores have no filesystem root to journal
+            # under; they fall through to cache_dir / explicit opt-in.
+            root = getattr(self.cache, "root", None)
+            if root is not None:
+                return pathlib.Path(root)
         if cache_dir is not None:
             return pathlib.Path(cache_dir).expanduser()
         if journal is True:

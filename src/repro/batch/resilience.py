@@ -54,7 +54,7 @@ import random
 import time
 import uuid
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional, TextIO
+from typing import Dict, Iterable, List, Optional, TextIO
 
 from ..errors import BatchError
 
@@ -127,6 +127,68 @@ def new_run_id() -> str:
 
 def journal_dir(root: pathlib.Path) -> pathlib.Path:
     return pathlib.Path(root).expanduser() / "journal"
+
+
+def list_journals(root: pathlib.Path) -> List[pathlib.Path]:
+    """Journal files under ``root``, newest first (by mtime, run-id
+    tiebreak — run ids sort by start time)."""
+    directory = journal_dir(root)
+    if not directory.is_dir():
+        return []
+    files = [p for p in directory.glob("*.jsonl") if p.is_file()]
+
+    def sort_key(path: pathlib.Path):
+        try:
+            mtime = path.stat().st_mtime
+        except OSError:
+            mtime = 0.0
+        return (mtime, path.stem)
+
+    return sorted(files, key=sort_key, reverse=True)
+
+
+def prune_journals(
+    root: pathlib.Path,
+    keep: Optional[int] = None,
+    older_than_s: Optional[float] = None,
+    exclude: Iterable[str] = (),
+) -> List[pathlib.Path]:
+    """Delete old journal files; returns the paths removed.
+
+    Every sweep leaves one JSONL behind, so a long-lived service (or a
+    busy workstation) accumulates them forever without this.  A file is
+    pruned when it falls outside the newest ``keep`` *or* its mtime is
+    older than ``older_than_s`` seconds; with both ``None`` nothing is
+    touched (an explicit retention policy is required — this function
+    must never surprise-delete resume state).  Run ids in ``exclude``
+    are always kept, so a live run can prune around its own journal.
+    Unlink failures are skipped, not raised: pruning is housekeeping,
+    never worth aborting the sweep that triggered it.
+    """
+    if keep is None and older_than_s is None:
+        return []
+    if keep is not None and keep < 0:
+        raise ValueError("keep must be >= 0")
+    excluded = set(exclude)
+    now = time.time()
+    removed: List[pathlib.Path] = []
+    for index, path in enumerate(list_journals(root)):
+        if path.stem in excluded:
+            continue
+        stale = keep is not None and index >= keep
+        if not stale and older_than_s is not None:
+            try:
+                stale = now - path.stat().st_mtime > older_than_s
+            except OSError:
+                continue
+        if not stale:
+            continue
+        try:
+            path.unlink()
+        except OSError:
+            continue
+        removed.append(path)
+    return removed
 
 
 class SweepJournal:

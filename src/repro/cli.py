@@ -14,7 +14,14 @@ Commands
              style);
 ``sweep``    expand a range grammar over the spec axes into a design
              grid and batch-compile it (parallel, cached, JSONL out);
-``batch``    batch-compile explicit specs from a JSON/JSONL file.
+``batch``    batch-compile explicit specs from a JSON/JSONL file;
+``serve``    run the compile service: a shared job queue behind an
+             HTTP/JSON API (``docs/service.md``);
+``journal``  list or prune the crash-resume journals under the cache.
+
+``sweep`` and ``batch`` also take ``--server URL`` to submit to a
+running service instead of compiling locally — same grid grammar, same
+JSONL output, same exit codes, no local compute.
 
 Examples::
 
@@ -28,6 +35,9 @@ Examples::
     python -m repro sweep --height 32:128:x2 --frequency 400 800 -j 4
     python -m repro sweep ... --job-timeout 300 --retries 2
     python -m repro sweep ... --resume 20260807-101500-ab12cd
+    python -m repro serve --port 8841 -j 2 --workers 4
+    python -m repro sweep --height 32 64 --server http://127.0.0.1:8841
+    python -m repro journal --prune --keep 8
 
 Long sweeps are fault-tolerant: per-job watchdog timeouts, transient-
 failure retries and a crash-safe resume journal (docs/robustness.md).
@@ -38,11 +48,13 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import pathlib
 import sys
 from typing import List, Optional, Sequence
 
 from .errors import SynDCIMError
-from .spec import MacroSpec, PPAWeights, parse_format
+from .options import DEFAULT_VERIFY_VECTORS, PPA_PRESETS, CompileOptions
+from .spec import MacroSpec, parse_format
 
 
 def _add_spec_args(parser: argparse.ArgumentParser) -> None:
@@ -60,21 +72,13 @@ def _add_spec_args(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument("--vdd", type=float, default=0.9)
     parser.add_argument(
-        "--ppa", choices=sorted(_PPA_CHOICES), default="balanced"
+        "--ppa", choices=sorted(PPA_PRESETS), default="balanced"
     )
-
-
-_PPA_CHOICES = {
-    "balanced": PPAWeights(),
-    "energy": PPAWeights(power=3.0, performance=1.0, area=1.0),
-    "area": PPAWeights(power=1.0, performance=1.0, area=3.0),
-    "performance": PPAWeights(power=1.0, performance=3.0, area=1.0),
-}
 
 
 def _spec_from_args(args: argparse.Namespace) -> MacroSpec:
     formats = tuple(parse_format(f) for f in args.formats)
-    ppa = _PPA_CHOICES[args.ppa]
+    ppa = PPA_PRESETS[args.ppa]
     return MacroSpec(
         height=args.height,
         width=args.width,
@@ -142,9 +146,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_spec_args(p_verify)
     p_verify.add_argument(
-        "--vectors", type=int, default=_DEFAULT_VERIFY_VECTORS,
+        "--vectors", type=int, default=DEFAULT_VERIFY_VECTORS,
         help=f"MAC stimulus vectors to run "
-        f"(default {_DEFAULT_VERIFY_VECTORS})",
+        f"(default {DEFAULT_VERIFY_VECTORS})",
     )
     p_verify.add_argument(
         "--seed", type=int, default=0,
@@ -189,7 +193,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sweep.add_argument("--vdd", nargs="+", default=["0.9"])
     p_sweep.add_argument(
-        "--ppa", choices=sorted(_PPA_CHOICES), default="balanced"
+        "--ppa", choices=sorted(PPA_PRESETS), default="balanced"
     )
     _add_batch_exec_args(p_sweep, default_output="sweep_results.jsonl")
 
@@ -205,13 +209,86 @@ def build_parser() -> argparse.ArgumentParser:
         "--specs", required=True, help="JSON/JSONL file of spec dicts"
     )
     _add_batch_exec_args(p_batch, default_output="batch_results.jsonl")
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the compile service (job queue + HTTP/JSON API)",
+        description=(
+            "Start a long-running compile service: a deduplicating "
+            "priority job queue over the batch engine, exposed as an "
+            "HTTP/JSON API (POST /v1/jobs, POST /v1/sweeps, "
+            "GET /v1/results/<hash>, ...).  Clients share one result "
+            "store, so no content hash is ever compiled twice.  "
+            "See docs/service.md."
+        ),
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=8841,
+        help="TCP port (0 picks an ephemeral port; default 8841)",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=None,
+        help="concurrent queue workers (default: min(4, CPU count))",
+    )
+    p_serve.add_argument(
+        "-j", "--jobs", type=int, default=2,
+        help="engine processes per running job (default 2 — pool "
+        "mode, so the watchdog and fault isolation apply)",
+    )
+    p_serve.add_argument(
+        "--cache-dir",
+        help="result-store directory (default $REPRO_CACHE_DIR "
+        "or ~/.cache/repro)",
+    )
+    p_serve.add_argument(
+        "--no-cache", action="store_true",
+        help="serve from a bounded in-memory store (nothing persists)",
+    )
+    p_serve.add_argument(
+        "--job-timeout", type=float, default=None, metavar="S",
+        help="default per-job watchdog deadline in seconds "
+        "(submissions may override via options.job_timeout_s)",
+    )
+    p_serve.add_argument(
+        "--retries", type=int, default=1, metavar="N",
+        help="default transient-failure retry budget per job",
+    )
+    p_serve.add_argument(
+        "--journal-keep", type=int, default=32, metavar="N",
+        help="journals retained when the service prunes after each "
+        "sweep (default 32)",
+    )
+
+    p_journal = sub.add_parser(
+        "journal",
+        help="list or prune the crash-resume journals under the cache",
+        description=(
+            "Every sweep leaves a write-ahead journal (used by "
+            "--resume) under <cache root>/journal/.  Default action "
+            "lists them newest first; --prune deletes those outside "
+            "the retention policy you give it."
+        ),
+    )
+    p_journal.add_argument(
+        "--cache-dir",
+        help="cache root holding journal/ (default $REPRO_CACHE_DIR "
+        "or ~/.cache/repro)",
+    )
+    p_journal.add_argument(
+        "--prune", action="store_true",
+        help="delete journals outside --keep/--older-than (at least "
+        "one retention flag is required)",
+    )
+    p_journal.add_argument(
+        "--keep", type=int, default=None, metavar="N",
+        help="retain only the newest N journals",
+    )
+    p_journal.add_argument(
+        "--older-than", type=float, default=None, metavar="SECONDS",
+        help="delete journals whose mtime is older than this",
+    )
     return parser
-
-
-#: Mirrors :data:`repro.verify.harness.DEFAULT_VECTORS` as a literal —
-#: importing it would pull numpy into every CLI startup (including
-#: ``--help``); the cross-check lives in tests/test_verify.py.
-_DEFAULT_VERIFY_VECTORS = 4096
 
 
 def _add_verify_args(parser: argparse.ArgumentParser) -> None:
@@ -225,10 +302,10 @@ def _add_verify_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--verify-vectors",
         type=int,
-        default=_DEFAULT_VERIFY_VECTORS,
+        default=DEFAULT_VERIFY_VECTORS,
         metavar="N",
         help=f"stimulus vectors for --verify "
-        f"(default {_DEFAULT_VERIFY_VECTORS})",
+        f"(default {DEFAULT_VERIFY_VECTORS})",
     )
 
 
@@ -262,6 +339,24 @@ def _parse_corners_arg(args: argparse.Namespace):
     from .signoff.corners import parse_corners
 
     return parse_corners(text)
+
+
+def _options_from_args(args: argparse.Namespace) -> CompileOptions:
+    """The canonical :class:`CompileOptions` for a batch-style argparse
+    namespace — one spelling, shared with the HTTP API, so a CLI run
+    and a service submission of the same flags hash identically."""
+    return CompileOptions(
+        corners=getattr(args, "corners", None),
+        vt=getattr(args, "vt", "svt"),
+        verify=getattr(args, "verify", False),
+        verify_vectors=getattr(
+            args, "verify_vectors", DEFAULT_VERIFY_VECTORS
+        ),
+        seed=getattr(args, "seed", None),
+        implement=not getattr(args, "no_implement", False),
+        job_timeout_s=getattr(args, "job_timeout", None),
+        retries=max(0, getattr(args, "retries", 1)),
+    )
 
 
 def _add_batch_exec_args(
@@ -321,6 +416,14 @@ def _add_batch_exec_args(
         "remainder recompiles (run ids print at sweep start; see "
         "docs/robustness.md)",
     )
+    parser.add_argument(
+        "--server", metavar="URL", default=None,
+        help="submit to a running compile service (e.g. "
+        "http://127.0.0.1:8841) instead of compiling locally: same "
+        "JSONL output and exit codes, jobs dedup against every other "
+        "client of that server (local-only flags -j/--cache-dir/"
+        "--no-cache/--resume are ignored)",
+    )
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -337,12 +440,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
 
 def _dispatch(args: argparse.Namespace) -> int:
-    from .compiler.syndcim import SynDCIM
-
+    if args.command == "serve":
+        return _run_serve(args)
+    if args.command == "journal":
+        return _run_journal(args)
     if args.command == "sweep":
         return _run_sweep(args)
     if args.command == "batch":
         return _run_batch_file(args)
+
+    from .compiler.syndcim import SynDCIM
 
     spec = _spec_from_args(args)
     library = None
@@ -432,7 +539,85 @@ def _dispatch(args: argparse.Namespace) -> int:
     raise AssertionError(f"unhandled command {args.command}")
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    from .service.queue import JobQueue
+    from .service.server import create_server
+
+    options = CompileOptions(
+        job_timeout_s=args.job_timeout,
+        retries=max(0, args.retries),
+    )
+    queue = JobQueue(
+        options=options,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        workers=args.workers,
+        engine_jobs=args.jobs,
+        journal_keep=max(0, args.journal_keep),
+    )
+    try:
+        server = create_server(queue, host=args.host, port=args.port)
+    except OSError as exc:
+        queue.close()
+        print(f"error: cannot bind {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 1
+    # The URL line is machine-parsed (examples/service_smoke.py boots
+    # on port 0 and scrapes the ephemeral port from it) — keep format.
+    print(f"serving on {server.base_url}", flush=True)
+    store_root = getattr(queue.store, "root", None)
+    store_text = str(store_root) if store_root else "in-memory"
+    print(f"run {queue.run_id} ({queue.workers} workers, "
+          f"store: {store_text})", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+        queue.close()
+    return 0
+
+
+def _run_journal(args: argparse.Namespace) -> int:
+    from .batch.cache import default_cache_dir
+    from .batch.resilience import list_journals, prune_journals
+
+    root = pathlib.Path(args.cache_dir) if args.cache_dir \
+        else default_cache_dir()
+    if args.prune:
+        if args.keep is None and args.older_than is None:
+            print(
+                "error: --prune needs a retention policy "
+                "(--keep N and/or --older-than SECONDS)",
+                file=sys.stderr,
+            )
+            return 1
+        removed = prune_journals(
+            root, keep=args.keep, older_than_s=args.older_than
+        )
+        for path in removed:
+            print(f"pruned {path.stem}")
+        print(f"pruned {len(removed)} journal(s) under {root}")
+        return 0
+    journals = list_journals(root)
+    if not journals:
+        print(f"no journals under {root}")
+        return 0
+    for path in journals:
+        try:
+            stat = path.stat()
+            print(f"{path.stem}  {stat.st_size:>9d} bytes")
+        except OSError:
+            continue
+    print(f"{len(journals)} journal(s) under {root}")
+    return 0
+
+
 def _run_sweep(args: argparse.Namespace) -> int:
+    if args.server:
+        return _run_remote_sweep(args)
     from .batch.sweep import (
         expand_grid,
         grid_summary,
@@ -447,7 +632,7 @@ def _run_sweep(args: argparse.Namespace) -> int:
         format_sets=parse_format_sets(args.formats),
         frequencies=parse_axis(args.frequency, integer=False),
         vdds=parse_axis(args.vdd, integer=False),
-        ppa=_PPA_CHOICES[args.ppa],
+        ppa=PPA_PRESETS[args.ppa],
     )
     human = sys.stderr if args.output == "-" else sys.stdout
     print(f"sweep: {grid_summary(specs)}", file=human)
@@ -478,7 +663,86 @@ def _run_batch_file(args: argparse.Namespace) -> int:
             return 1
     human = sys.stderr if args.output == "-" else sys.stdout
     print(f"batch: {len(specs)} specs from {args.specs}", file=human)
+    if args.server:
+        return _run_remote_specs(specs, args)
     return _execute_batch(specs, args)
+
+
+def _run_remote_sweep(args: argparse.Namespace) -> int:
+    """``sweep --server URL``: ship the raw axis tokens to the
+    service's ``POST /v1/sweeps`` (the grid grammar expands
+    server-side) and stream the terminal records back as JSONL."""
+    from .service.client import ServiceClient
+
+    client = ServiceClient(args.server)
+    human = sys.stderr if args.output == "-" else sys.stdout
+    sweep = client.submit_sweep(
+        axes={
+            "height": args.height,
+            "width": args.width,
+            "mcr": args.mcr,
+            "formats": args.formats,
+            "frequency": args.frequency,
+            "vdd": args.vdd,
+        },
+        options=_options_from_args(args),
+        ppa=args.ppa,
+    )
+    print(
+        f"sweep {sweep['id']}: {sweep['points']} points on {args.server}",
+        file=human,
+    )
+    done = client.wait_sweep(sweep["id"])
+    records = [
+        client.job(job_id).get("record") or {} for job_id in done["jobs"]
+    ]
+    return _finish_remote(records, args, human)
+
+
+def _run_remote_specs(specs: List[MacroSpec], args: argparse.Namespace) -> int:
+    """``batch --server URL``: submit each spec, then collect."""
+    from .service.client import ServiceClient
+
+    client = ServiceClient(args.server)
+    human = sys.stderr if args.output == "-" else sys.stdout
+    options = _options_from_args(args)
+    job_ids = [
+        str(client.submit(spec, options=options)["id"]) for spec in specs
+    ]
+    records = [
+        client.wait(job_id).get("record") or {} for job_id in job_ids
+    ]
+    return _finish_remote(records, args, human)
+
+
+def _finish_remote(records, args: argparse.Namespace, human) -> int:
+    """JSONL the remote records to --output with local exit-code
+    semantics (1 on any error/timeout point or output failure)."""
+    to_stdout = args.output == "-"
+    sink = sys.stdout
+    if not to_stdout and args.output:
+        try:
+            sink = open(args.output, "w", encoding="utf-8")
+        except OSError as exc:
+            print(f"error: cannot write --output: {exc}", file=sys.stderr)
+            return 1
+    try:
+        for record in records:
+            sink.write(json.dumps(record) + "\n")
+        sink.flush()
+    except OSError as exc:
+        print(f"error: writing {args.output}: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        if not to_stdout:
+            sink.close()
+    statuses = [r.get("status") for r in records]
+    counts = {s: statuses.count(s) for s in sorted(set(statuses), key=str)}
+    summary = ", ".join(f"{v} {k}" for k, v in counts.items())
+    print(f"{len(records)} records ({summary})", file=human)
+    if not to_stdout and args.output:
+        print(f"wrote {len(records)} records to {args.output}", file=human)
+    return 1 if any(s in ("error", "timeout") for s in statuses) else 0
 
 
 def _execute_batch(specs: List[MacroSpec], args: argparse.Namespace) -> int:
@@ -545,7 +809,7 @@ def _execute_batch(specs: List[MacroSpec], args: argparse.Namespace) -> int:
         emit(record)
         streamed.add(record.get("job_key"))
 
-    corner_set = _parse_corners_arg(args)
+    options = _options_from_args(args)
     from .batch.faults import ENV_FAULTS, FaultPlan, active_plan
 
     # A typo'd chaos spec must fail loudly at arm time, not run a
@@ -562,24 +826,12 @@ def _execute_batch(specs: List[MacroSpec], args: argparse.Namespace) -> int:
         if plan is not None:
             say(plan.describe())
 
-    from .batch.resilience import RetryPolicy
-
     engine = BatchCompiler(
         jobs=args.jobs,
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
-        seed=args.seed,
         progress=progress,
-        corners=None if corner_set is None else corner_set.names,
-        verify=args.verify,
-        verify_vectors=args.verify_vectors,
-        vt=getattr(args, "vt", "svt"),
-        job_timeout_s=args.job_timeout,
-        retry=RetryPolicy(
-            max_attempts=max(0, args.retries) + 1,
-            backoff_s=0.5,
-            jitter=0.1,
-        ),
+        options=options,
         resume=args.resume,
     )
     # The run id prints *before* compilation: a sweep killed mid-grid

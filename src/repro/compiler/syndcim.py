@@ -23,6 +23,7 @@ from typing import Dict, List, Optional
 
 from ..arch import MacroArchitecture
 from ..errors import SearchError
+from ..options import CompileOptions
 from ..scl.library import SubcircuitLibrary, cached_default_scl, default_scl
 from ..search.algorithm import MSOSearcher, SearchResult
 from ..search.estimate import MacroEstimate
@@ -103,6 +104,26 @@ class SynDCIM:
         self.corners = corners
         self.vt = vt
         self._signoff_scl: Optional[SubcircuitLibrary] = None
+
+    @classmethod
+    def from_options(
+        cls,
+        options: "CompileOptions",
+        scl: Optional[SubcircuitLibrary] = None,
+        library: Optional[StdCellLibrary] = None,
+    ) -> "SynDCIM":
+        """Build the facade from the canonical
+        :class:`~repro.options.CompileOptions` bundle — the same
+        normalization the batch engine, CLI and service use, so a
+        facade built this way prices and keys exactly like they do."""
+        return cls(
+            scl=scl,
+            library=library,
+            process=options.resolve_process(),
+            seed=options.seed,
+            corners=options.corner_set(),
+            vt=options.vt,
+        )
 
     @property
     def scl(self) -> SubcircuitLibrary:

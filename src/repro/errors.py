@@ -43,3 +43,10 @@ class BatchError(SynDCIMError):
     """Batch-engine orchestration failed (unknown resume run id,
     unreadable journal, ...) — distinct from per-job failures, which
     are data (``status="error"`` records), never exceptions."""
+
+
+class ServiceError(SynDCIMError):
+    """A compiler-service interaction failed: an HTTP request was
+    rejected or could not reach the server, a poll timed out, or the
+    queue refused an operation.  Job *failures* are data (terminal
+    ``error``/``timeout`` statuses), never exceptions."""

@@ -1,0 +1,225 @@
+""":class:`ServiceClient` — the typed Python mirror of the compile
+service's HTTP routes.
+
+``urllib``-only, so a thin client process imports neither the batch
+engine nor numpy.  Every method maps one-to-one onto a route (see
+:mod:`repro.service.server`); transport failures and non-2xx responses
+raise :class:`~repro.errors.ServiceError` carrying the server's error
+message, while job *failures* come back as data — a terminal
+``error``/``timeout`` record is a result, not an exception.
+
+>>> client = ServiceClient("http://127.0.0.1:8841")
+>>> snap = client.submit({"height": 64, "width": 64})
+>>> record = client.wait(snap["id"])["record"]
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional, Union
+
+from ..errors import ServiceError
+from ..options import CompileOptions
+
+#: Terminal job statuses, mirrored from the queue so thin clients need
+#: not import it (and the batch stack behind it).
+TERMINAL_STATUSES = ("ok", "infeasible", "error", "timeout", "cancelled")
+
+SpecLike = Union[Dict[str, Any], Any]
+OptionsLike = Union[CompileOptions, Dict[str, Any], None]
+
+
+def _spec_payload(spec: SpecLike) -> Dict[str, Any]:
+    if isinstance(spec, dict):
+        return spec
+    to_dict = getattr(spec, "to_dict", None)
+    if callable(to_dict):
+        return to_dict()
+    raise ServiceError(
+        f"cannot serialize spec of type {type(spec).__name__}: "
+        "pass a MacroSpec or a plain dict"
+    )
+
+
+def _options_payload(options: OptionsLike) -> Optional[Dict[str, Any]]:
+    if options is None:
+        return None
+    if isinstance(options, CompileOptions):
+        return options.to_dict()
+    if isinstance(options, dict):
+        return options
+    raise ServiceError(
+        f"cannot serialize options of type {type(options).__name__}: "
+        "pass CompileOptions or a plain dict"
+    )
+
+
+class ServiceClient:
+    """One compile-service endpoint, e.g.
+    ``ServiceClient("http://127.0.0.1:8841")``.
+
+    ``timeout`` is the per-request socket timeout; long waits are
+    implemented by polling (:meth:`wait`, :meth:`wait_sweep`), never by
+    a long-held connection.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport ----------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+        none_on_404: bool = False,
+    ) -> Optional[Dict[str, Any]]:
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            if exc.code == 404 and none_on_404:
+                return None
+            try:
+                detail = json.loads(exc.read().decode("utf-8")).get(
+                    "error", ""
+                )
+            except (ValueError, OSError):
+                detail = ""
+            raise ServiceError(
+                f"{method} {path} failed with HTTP {exc.code}"
+                + (f": {detail}" if detail else "")
+            ) from exc
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach compile service at {self.base_url}: "
+                f"{exc.reason}"
+            ) from exc
+        except (OSError, ValueError) as exc:
+            raise ServiceError(
+                f"{method} {path} failed: {exc}"
+            ) from exc
+
+    # -- routes -------------------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/health")
+
+    def stats(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/stats")
+
+    def submit(
+        self,
+        spec: SpecLike,
+        options: OptionsLike = None,
+        priority: int = 0,
+    ) -> Dict[str, Any]:
+        """Submit one macro; returns the job snapshot (``id``, ``key``,
+        ``status`` — possibly already terminal on a cache hit)."""
+        body: Dict[str, Any] = {
+            "spec": _spec_payload(spec),
+            "priority": priority,
+        }
+        payload = _options_payload(options)
+        if payload is not None:
+            body["options"] = payload
+        return self._request("POST", "/v1/jobs", body)
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        """Cancel a queued job.  ``{"cancelled": False, ...}`` (from
+        the 409) means it already started — not an exception, because
+        losing that race is an expected outcome."""
+        try:
+            return self._request("DELETE", f"/v1/jobs/{job_id}")
+        except ServiceError as exc:
+            if "HTTP 409" in str(exc):
+                return self.job(job_id) | {"cancelled": False}
+            raise
+
+    def result(self, key: str) -> Optional[Dict[str, Any]]:
+        """The stored record for a content hash, or ``None`` when the
+        store has no entry — this never triggers a compile."""
+        return self._request(
+            "GET", f"/v1/results/{key}", none_on_404=True
+        )
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: float = 600.0,
+        poll_s: float = 0.25,
+    ) -> Dict[str, Any]:
+        """Poll until the job is terminal; returns the final snapshot
+        (with ``record``).  Raises :class:`ServiceError` on deadline —
+        a *client-side* deadline, distinct from the job's own
+        ``timeout`` status, which is returned as data."""
+        deadline = time.monotonic() + timeout
+        while True:
+            snapshot = self.job(job_id)
+            if snapshot.get("status") in TERMINAL_STATUSES:
+                return snapshot
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} not terminal after {timeout:.0f}s "
+                    f"(last status {snapshot.get('status')!r})"
+                )
+            time.sleep(poll_s)
+
+    def submit_sweep(
+        self,
+        axes: Dict[str, List[str]],
+        options: OptionsLike = None,
+        ppa: str = "balanced",
+        priority: int = 0,
+    ) -> Dict[str, Any]:
+        """Fan a range grammar out server-side; returns the sweep
+        snapshot with per-point job ids and content hashes."""
+        body: Dict[str, Any] = {
+            "axes": axes,
+            "ppa": ppa,
+            "priority": priority,
+        }
+        payload = _options_payload(options)
+        if payload is not None:
+            body["options"] = payload
+        return self._request("POST", "/v1/sweeps", body)
+
+    def sweep(self, sweep_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/v1/sweeps/{sweep_id}")
+
+    def wait_sweep(
+        self,
+        sweep_id: str,
+        timeout: float = 3600.0,
+        poll_s: float = 0.5,
+    ) -> Dict[str, Any]:
+        """Poll until every point of the sweep is terminal."""
+        deadline = time.monotonic() + timeout
+        while True:
+            snapshot = self.sweep(sweep_id)
+            if snapshot.get("done"):
+                return snapshot
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"sweep {sweep_id} not complete after {timeout:.0f}s "
+                    f"({snapshot.get('counts')})"
+                )
+            time.sleep(poll_s)

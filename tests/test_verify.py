@@ -280,11 +280,13 @@ class TestStimuli:
             aligned, _emax = align_group(fields)
             assert list(got[i]) == aligned, f"seed={seed} vector {i}"
 
-    def test_cli_default_mirrors_harness_default(self):
-        from repro.cli import _DEFAULT_VERIFY_VECTORS
+    def test_options_default_mirrors_harness_default(self):
+        # repro.options keeps the number as a literal so CLI/service
+        # startup stays numpy-free; this is the drift guard.
+        from repro.options import DEFAULT_VERIFY_VECTORS
         from repro.verify.harness import DEFAULT_VECTORS
 
-        assert _DEFAULT_VERIFY_VECTORS == DEFAULT_VECTORS
+        assert DEFAULT_VERIFY_VECTORS == DEFAULT_VECTORS
 
 
 class TestFlowWiring:
