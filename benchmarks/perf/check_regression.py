@@ -29,7 +29,17 @@ Absolute invariants (not ratios — these hold on any machine):
   least 100x faster per vector than the scalar simulator (same-machine
   ratio), and ``vecsim_verified_clean`` — the quickstart netlist
   verifies clean against the golden model.  ``vecsim_vectors_per_s``
-  is additionally floored at half its baseline.
+  is additionally floored at half its baseline;
+* ``vecsim_tiled_vectors_per_s`` >= 100000 — the word-tiled propagate
+  loop's raw ``run_mac`` throughput on the quickstart netlist (the
+  tiled-simulator acceptance contract);
+* ``implement_warm_ms`` <= 100 — a forced full re-implementation in a
+  warm ``ImplementSession`` (arena replay + route reuse) stays under
+  a tenth of a second (the incremental-recompile contract);
+* ``shm_netview_attach_speedup`` >= 1.0 and ``shm_workers_zero_copy``
+  — hydrating published NetView tensors inside a pool worker beats
+  rebuilding locally, and workers resolve their SCL from the
+  shared-memory attach, not the disk cache or a characterization.
 
 Run after ``make perf``::
 
@@ -61,6 +71,7 @@ GUARDED = (
 RATIO_CEILINGS = (
     ("signoff_corner_ratio", 2.0),
     ("scl_warm_multivt_ratio", 3.0),
+    ("implement_warm_ms", 100.0),
 )
 
 #: Machine-independent invariants: (metric, min allowed value).
@@ -68,7 +79,11 @@ RATIO_CEILINGS = (
 #: contract — both rates are measured on the same machine, so the
 #: ratio holds anywhere; falling under 100x means the vectorized
 #: kernels de-vectorized.
-RATIO_FLOORS = (("vecsim_speedup", 100.0),)
+RATIO_FLOORS = (
+    ("vecsim_speedup", 100.0),
+    ("vecsim_tiled_vectors_per_s", 100000.0),
+    ("shm_netview_attach_speedup", 1.0),
+)
 
 #: Throughput metrics (higher is better): fail when
 #: ``measured < baseline / divisor``.
@@ -79,6 +94,7 @@ REQUIRED_TRUE = (
     "implement_signoff_clean",
     "signoff_ss_clean",
     "vecsim_verified_clean",
+    "shm_workers_zero_copy",
 )
 
 

@@ -147,6 +147,10 @@ class CacheStats:
     #: Quarantined ``.corrupt-*`` files the last sweep *kept* — they
     #: count toward the budget but are never silently evicted.
     quarantine_kept: int = 0
+    #: Hit-path ``os.utime`` refreshes that failed (read-only store,
+    #: permission drift); each also lands in the in-process recency
+    #: fallback so the LRU sweep still sees the hit.
+    recency_touch_failures: int = 0
 
     def describe(self) -> str:
         line = (
@@ -266,6 +270,11 @@ class ResultCache(ResultStore):
         #: until the first sweep.  Lets a put skip the directory walk
         #: while demonstrably under budget.
         self._tracked_bytes: Optional[int] = None
+        #: In-process recency fallback (key -> wall-clock hit time) for
+        #: records whose hit-path mtime refresh failed — without it a
+        #: read-only store makes hot records look *oldest* and the LRU
+        #: sweep evicts them first.  Consulted by :meth:`_scan`.
+        self._recency_fallback: Dict[str, float] = {}
 
     def _path(self, key: str) -> pathlib.Path:
         return self.root / f"v{CACHE_SCHEMA_VERSION}" / key[:2] / f"{key}.json"
@@ -298,11 +307,21 @@ class ResultCache(ResultStore):
         self.stats.hits += 1
         if self.budget_mb is not None:
             # Refresh recency so the LRU sweep sees hits, not just
-            # writes; a failed touch merely ages the entry early.
+            # writes.  A failed touch (read-only store, permission
+            # drift) must not silently age hot records to the front of
+            # the eviction queue: count it, warn once per cache, and
+            # remember the hit in the in-process fallback map that
+            # :meth:`_scan` folds into mtimes for the session.
             try:
                 os.utime(path)
-            except OSError:
-                pass
+            except OSError as exc:
+                self.stats.recency_touch_failures += 1
+                self._recency_fallback[key] = time.time()
+                self._warn_recency_degraded(exc)
+            else:
+                # Disk recency is authoritative again; drop the stale
+                # fallback entry so it cannot pin an old timestamp.
+                self._recency_fallback.pop(key, None)
         return record
 
     def put(self, key: str, record: Dict[str, object]) -> None:
@@ -414,7 +433,13 @@ class ResultCache(ResultStore):
                     quarantined += 1
                     quarantined_bytes += stat.st_size
                     continue
-                records.append((stat.st_mtime, stat.st_size, path))
+                # A hit whose mtime refresh failed still counts as
+                # recent for this session (see get()'s fallback map).
+                mtime = max(
+                    stat.st_mtime,
+                    self._recency_fallback.get(path.stem, 0.0),
+                )
+                records.append((mtime, stat.st_size, path))
         return records, total, quarantined, quarantined_bytes
 
     def enforce_budget(self) -> int:
@@ -451,6 +476,24 @@ class ResultCache(ResultStore):
         return evicted
 
     _quarantine_warned = False
+    _recency_warned = False
+
+    def _warn_recency_degraded(self, exc: Exception) -> None:
+        """One warning per cache instance, mirroring the quarantine
+        path: LRU recency is degraded to the in-process fallback, which
+        dies with the process — an operator should fix the store."""
+        if self._recency_warned:
+            return
+        self._recency_warned = True
+        warnings.warn(
+            f"repro: result cache could not refresh hit recency under "
+            f"{self.root} ({type(exc).__name__}: {exc}); falling back "
+            f"to an in-process recency map for this session — LRU "
+            f"eviction order degrades across restarts until the store "
+            f"is writable again",
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
     def _warn_quarantine_over_budget(self, count: int, size: int) -> None:
         if self._quarantine_warned:
@@ -476,6 +519,7 @@ class ResultCache(ResultStore):
             "budget_mb": self.budget_mb,
             "evictions": self.stats.evictions,
             "evicted_bytes": self.stats.evicted_bytes,
+            "recency_touch_failures": self.stats.recency_touch_failures,
         }
 
 

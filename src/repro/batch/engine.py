@@ -287,6 +287,11 @@ class BatchCompiler:
             if resume is not None
             else (new_run_id() if self._journal_root is not None else None)
         )
+        #: Shared-memory segments published by this engine (SCL tensors
+        #: from :meth:`_prewarm`, net views from
+        #: :meth:`publish_net_view`); every pool worker receives this
+        #: list through its initializer and attaches zero-copy.
+        self._shm_segments: List[str] = []
 
     def _resolve_journal_root(
         self,
@@ -632,7 +637,9 @@ class BatchCompiler:
         next_i = 0
         in_flight: Dict[object, Tuple[str, Optional[float]]] = {}
         with ProcessPoolExecutor(
-            max_workers=workers, initializer=_worker_initializer
+            max_workers=workers,
+            initializer=_worker_initializer,
+            initargs=(tuple(self._shm_segments),),
         ) as pool:
 
             def submit_window() -> None:
@@ -746,32 +753,53 @@ class BatchCompiler:
         self._prewarm()
         workers = min(self.jobs, len(items))
         with ProcessPoolExecutor(
-            max_workers=workers, initializer=_worker_initializer
+            max_workers=workers,
+            initializer=_worker_initializer,
+            initargs=(tuple(self._shm_segments),),
         ) as pool:
             return list(pool.map(fn, items))
 
-    @staticmethod
-    def _prewarm() -> None:
+    def _prewarm(self) -> None:
         """Resolve the subcircuit library once in the parent before any
-        worker spawns.  Fork-started children then inherit the live
-        object; spawn/forkserver children find the persistent artifact
-        this call just built (or verified) and load it in milliseconds
-        through :func:`_worker_initializer` — either way no worker
-        re-runs the characterization.  The one combination where a
-        parent build helps nobody — disk cache disabled *and* children
-        that cannot inherit memory — skips it."""
-        import multiprocessing
+        worker spawns, then publish its tensors over shared memory.
+        Fork-started children inherit the live object; spawn/forkserver
+        children attach the published segment zero-copy through
+        :func:`_worker_initializer` (falling back to the persistent
+        disk artifact, then to a characterization) — either way no
+        worker re-runs the characterization.  The one combination where
+        a parent build helps nobody — disk cache disabled *and*
+        children that cannot inherit memory — still builds when shared
+        memory can carry the result across.
 
-        from ..scl.cache import scl_cache_enabled
-
-        if (
-            not scl_cache_enabled()
-            and multiprocessing.get_start_method() != "fork"
-        ):
-            return
+        Publishing is best-effort: a shm-less platform degrades to the
+        pre-shm behaviour.  The published segment names accumulate in
+        ``_shm_segments`` and ride to every worker via the pool
+        initializer (alongside any net views published with
+        :meth:`publish_net_view`)."""
         from ..scl.library import default_scl
+        from ..shm.scl import publish_default_scl
 
         default_scl()
+        name = publish_default_scl()
+        if name is not None and name not in self._shm_segments:
+            self._shm_segments.append(name)
+
+    def publish_net_view(self, module, library=None) -> Optional[str]:
+        """Publish one compiled netlist view's integer tables so pool
+        workers hydrate it zero-copy instead of re-walking the module
+        (see :mod:`repro.shm.netview`).  Call before :meth:`run_jobs` /
+        :meth:`map` with any flat module the workers will analyze —
+        e.g. a macro the parent already implemented.  Returns the
+        segment name, or ``None`` when publishing was not possible."""
+        from ..rtl.netview import net_view
+        from ..shm.netview import publish_net_view as _publish
+        from ..tech.stdcells import default_library
+
+        view = net_view(module, library or default_library())
+        name = _publish(view)
+        if name is not None and name not in self._shm_segments:
+            self._shm_segments.append(name)
+        return name
 
     def _prewarm_corners(self, jobs: Iterable[Job]) -> None:
         """Corner jobs also need the worst-corner SCL: resolve it once
@@ -811,18 +839,33 @@ class BatchCompiler:
 _PREWARM_WARNED = False
 
 
-def _worker_initializer() -> None:
-    """Pool-worker startup hook: load the SCL from the persistent cache
-    (or inherit it under fork) before the first job lands, so per-job
-    latencies measure compilation, not characterization.  A worker that
-    cannot preload still works — it builds lazily on first use — but
-    says so once (this hook runs once per process), because a
-    misconfigured cache dir showing up as a uniform slowdown is the
-    kind of mystery that eats an afternoon."""
+def _worker_initializer(shm_segments: Sequence[str] = ()) -> None:
+    """Pool-worker startup hook: attach the parent's published
+    shared-memory tensors, then make sure an SCL is resolved before the
+    first job lands, so per-job latencies measure compilation, not
+    characterization.
+
+    Resolution order for the SCL: the shared-memory segment the parent
+    published (zero-copy tensor attach, sub-millisecond), then the
+    persistent disk artifact (or the live object inherited under
+    fork), then a lazy characterization on first use.  Published net
+    views are armed for :func:`repro.rtl.netview.net_view` to hydrate
+    on demand.  A worker that cannot preload still works, but says so
+    once (this hook runs once per process), because a misconfigured
+    cache dir showing up as a uniform slowdown is the kind of mystery
+    that eats an afternoon."""
+    try:
+        from ..shm.netview import install_attachments
+
+        install_attachments(shm_segments)
+    except Exception:
+        pass
     try:
         from ..scl.library import default_scl
+        from ..shm.scl import attach_default_scl
 
-        default_scl()
+        if attach_default_scl() is None:
+            default_scl()
     except Exception as exc:
         warnings.warn(
             "repro: batch worker could not preload the subcircuit "

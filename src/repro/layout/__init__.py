@@ -13,6 +13,7 @@ from .geometry import (
     rect_arrays,
     sweep_overlaps,
 )
+from .arena import LayoutArena
 from .sdp import CellRects, Placement, SDPParams, place_macro
 from .route import RoutingEstimate, estimate_routing, estimate_routing_reference
 from .drc import DRCReport, DRCViolation, run_drc
@@ -27,6 +28,7 @@ __all__ = [
     "rect_arrays",
     "sweep_overlaps",
     "CellRects",
+    "LayoutArena",
     "Placement",
     "SDPParams",
     "place_macro",

@@ -47,13 +47,24 @@ class RoutingEstimate:
 
     def wire_load_fn(self) -> Callable[[str], float]:
         """Adapter for :func:`repro.sta.analysis.analyze` and the power
-        estimator: net name -> wire capacitance (fF)."""
-        caps = self.net_caps_ff
+        estimator: net name -> wire capacitance (fF).
 
-        def load(net: str) -> float:
-            return caps.get(net, 0.0)
+        The closure is memoized on the estimate, so every caller holding
+        the same :class:`RoutingEstimate` sees the same function object.
+        STA's propagation cache is keyed by wire-load *identity* (see
+        :func:`repro.sta.analysis._propagate_view`), so handing out a
+        fresh closure per call would silently defeat it.
+        """
+        fn = self.__dict__.get("_wire_load_fn")
+        if fn is None:
+            caps = self.net_caps_ff
 
-        return load
+            def load(net: str) -> float:
+                return caps.get(net, 0.0)
+
+            object.__setattr__(self, "_wire_load_fn", load)
+            fn = load
+        return fn
 
     def describe(self) -> str:
         return (

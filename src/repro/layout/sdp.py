@@ -410,7 +410,19 @@ def place_macro(
     params = params or SDPParams()
     part = _partition(module)
     data = _precompute(part, library, params.row_height_um)
+    return _scan_floorplans(data, params)
 
+
+def _scan_floorplans(data: "_PartitionArrays", params: SDPParams) -> Placement:
+    """Scan candidate floorplans over precomputed partition arrays and
+    keep the minimum-area one that places cleanly.
+
+    Split out of :func:`place_macro` so :class:`~repro.layout.arena.
+    LayoutArena` can rerun the scan against cached partition arrays —
+    and, once a floorplan is known, replay just the winning
+    :func:`_try_place` call (the placement is a pure function of
+    ``(data, params, width, height)``, so the replay is bit-identical).
+    """
     sram_h = params.sram_row_height_um
     row_h = params.row_height_um
     worst_col_area = max(data.col_areas.values())

@@ -302,11 +302,33 @@ def _propagate_arrays(
     view: NetView,
     input_stats: Optional[Mapping[str, NetActivity]] = None,
 ) -> Tuple[List[float], List[float], List[bool], Dict[str, NetActivity]]:
-    """Core propagation over the compiled view.
+    """Core propagation over the compiled view, memoized per stats
+    content.
 
     Returns (probability, density, known) lists indexed by net id plus
     the pass-through stats for ``input_stats`` keys naming no net.
+    Callers must treat the returned lists as read-only: repeated power
+    estimates with identical input statistics (the common case — a
+    session's sparsity knobs are fixed) return the cached propagation.
+    Like STA's ``sta_prop`` cache the memo holds a single entry, so
+    sweeps that alternate between two stat sets recompute each time
+    instead of growing without bound.
     """
+    key = (
+        None if input_stats is None else frozenset(input_stats.items())
+    )
+    cached = view.derived.get("activity_prop")
+    if cached is not None and cached[0] == key:
+        return cached[1]
+    result = _propagate_arrays_uncached(view, input_stats)
+    view.derived["activity_prop"] = (key, result)
+    return result
+
+
+def _propagate_arrays_uncached(
+    view: NetView,
+    input_stats: Optional[Mapping[str, NetActivity]] = None,
+) -> Tuple[List[float], List[float], List[bool], Dict[str, NetActivity]]:
     module = view.module
     sched = _schedule(view)
     n = view.n_nets

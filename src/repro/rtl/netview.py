@@ -217,12 +217,23 @@ def net_view(module, library: StdCellLibrary) -> NetView:
     """The (cached) compiled view of ``module`` against ``library``.
 
     The cache key is the library's identity; the entry is rebuilt when
-    the module has been mutated since compilation.
+    the module has been mutated since compilation.  In a batch worker
+    whose parent published view tensors over shared memory (see
+    :mod:`repro.shm.netview`), a cache miss first probes the published
+    segments and hydrates zero-copy instead of re-walking the module;
+    with no attachments installed the probe is a single ``None`` check.
     """
     cache = getattr(module, "_net_view_cache", None)
     if cache is None:
         cache = module._net_view_cache = {}
     view = cache.get(id(library))
     if view is None or view.revision != module.revision:
+        from ..shm import netview as _shm_netview
+
+        if _shm_netview._ATTACHMENTS is not None:
+            view = _shm_netview.try_attach_net_view(module, library)
+            if view is not None:
+                cache[id(library)] = view
+                return view
         view = cache[id(library)] = NetView(module, library)
     return view

@@ -152,6 +152,25 @@ def default_scl(
     return _CACHE[key]
 
 
+def install_default_scl(
+    scl: SubcircuitLibrary,
+    process: Optional[Process] = None,
+    corner: Optional["Corner"] = None,
+    source: str = "shm",
+) -> None:
+    """Seed the in-process default-SCL cache with an externally
+    resolved library (e.g. one attached from a shared-memory segment —
+    see :mod:`repro.shm.scl`).  Later :func:`default_scl` calls for
+    this (process, corner) return it without touching the disk cache
+    or the characterizer.  An unsealed library is rejected: the cache
+    only ever holds read-only sealed objects."""
+    if not scl.sealed:
+        raise LibraryError("install_default_scl requires a sealed library")
+    key = _cache_key(process or GENERIC_40NM, corner)
+    _CACHE[key] = scl
+    _SOURCE[key] = source
+
+
 def default_scl_source(
     process: Optional[Process] = None,
     corner: Optional["Corner"] = None,

@@ -66,7 +66,14 @@ def _new_id(prefix: str) -> str:
 
 @dataclass
 class _JobEntry:
-    """Internal per-job state (snapshot through :meth:`JobQueue.job`)."""
+    """Internal per-job state (snapshot through :meth:`JobQueue.job`).
+
+    Wall-clock timestamps (``submitted``/``started``/``finished``) are
+    *display metadata only* — an NTP step moves them arbitrarily.  All
+    interval math runs on the parallel ``*_mono`` readings from
+    :func:`time.monotonic`, which is what the ``queued_s``/``run_s``
+    fields in snapshots are computed from.
+    """
 
     id: str
     key: str
@@ -78,12 +85,32 @@ class _JobEntry:
     submitted: float = field(default_factory=time.time)
     started: Optional[float] = None
     finished: Optional[float] = None
+    submitted_mono: float = field(default_factory=time.monotonic)
+    started_mono: Optional[float] = None
+    finished_mono: Optional[float] = None
     cached: bool = False
     #: Later submits that attached to this job instead of recompiling.
     coalesced: int = 0
     done: threading.Event = field(default_factory=threading.Event)
 
+    def mark_started(self) -> None:
+        self.started = time.time()
+        self.started_mono = time.monotonic()
+
+    def mark_finished(self) -> None:
+        self.finished = time.time()
+        self.finished_mono = time.monotonic()
+
     def snapshot(self) -> Dict[str, object]:
+        now = time.monotonic()
+        started = self.started_mono
+        queued_end = started if started is not None else now
+        run_s: Optional[float] = None
+        if started is not None:
+            run_end = (
+                self.finished_mono if self.finished_mono is not None else now
+            )
+            run_s = round(run_end - started, 6)
         return {
             "id": self.id,
             "key": self.key,
@@ -93,6 +120,8 @@ class _JobEntry:
             "submitted": self.submitted,
             "started": self.started,
             "finished": self.finished,
+            "queued_s": round(queued_end - self.submitted_mono, 6),
+            "run_s": run_s,
             "cached": self.cached,
             "coalesced": self.coalesced,
             "record": self.record if self.status in TERMINAL_STATUSES else None,
@@ -107,6 +136,9 @@ class _SweepEntry:
     pending: Set[str]
     submitted: float = field(default_factory=time.time)
     finished: Optional[float] = None
+    # Monotonic twins of the wall timestamps above (interval math only).
+    submitted_mono: float = field(default_factory=time.monotonic)
+    finished_mono: Optional[float] = None
 
 
 class JobQueue:
@@ -161,7 +193,10 @@ class JobQueue:
         self.engine_jobs = max(1, engine_jobs)
         self.journal_keep = max(0, journal_keep)
         self.run_id = new_run_id()
+        #: Wall-clock start (display only; see :meth:`stats`).
         self.started_at = time.time()
+        #: Monotonic start — the uptime reference, immune to NTP steps.
+        self._started_mono = time.monotonic()
         root = getattr(self.store, "root", None)
         self._journal_root: Optional[pathlib.Path] = (
             pathlib.Path(root) if journal and root is not None else None
@@ -271,6 +306,9 @@ class JobQueue:
                     cached=True,
                 )
                 entry.started = entry.finished = entry.submitted
+                entry.started_mono = entry.finished_mono = (
+                    entry.submitted_mono
+                )
                 entry.done.set()
                 self._jobs[entry.id] = entry
                 self._by_key[key] = entry
@@ -408,7 +446,7 @@ class JobQueue:
             }
         return {
             "run_id": self.run_id,
-            "uptime_s": round(time.time() - self.started_at, 3),
+            "uptime_s": round(time.monotonic() - self._started_mono, 3),
             "workers": self.workers,
             "jobs": by_status,
             "sweeps": sweeps,
@@ -445,7 +483,7 @@ class JobQueue:
                     self._wakeup.wait(timeout=0.5)
                     continue
                 entry.status = RUNNING
-                entry.started = time.time()
+                entry.mark_started()
             record = self._execute(entry)
             with self._lock:
                 if entry.status == RUNNING:
@@ -502,7 +540,7 @@ class JobQueue:
         """Caller holds the lock.  Lands a terminal status, journals
         it, wakes waiters and settles any sweeps the job belonged to."""
         entry.status = status
-        entry.finished = time.time()
+        entry.mark_finished()
         if record is not None:
             entry.record = dict(record, job_key=entry.key)
             if self._journal is not None:
@@ -518,6 +556,7 @@ class JobQueue:
         """Caller holds the lock: stamp completion and prune old
         journals (keeping this service's own journal alive)."""
         sweep.finished = time.time()
+        sweep.finished_mono = time.monotonic()
         if self._journal_root is not None and self.journal_keep:
             prune_journals(
                 self._journal_root,
@@ -540,4 +579,13 @@ class JobQueue:
             "done": sweep.finished is not None,
             "submitted": sweep.submitted,
             "finished": sweep.finished,
+            "elapsed_s": round(
+                (
+                    sweep.finished_mono
+                    if sweep.finished_mono is not None
+                    else time.monotonic()
+                )
+                - sweep.submitted_mono,
+                6,
+            ),
         }

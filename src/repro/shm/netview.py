@@ -1,0 +1,274 @@
+"""Per-view NetView integer tables over shared memory.
+
+Compiling a :class:`~repro.rtl.netview.NetView` is a Python walk over
+every instance (~50 ms on the paper-size macro) that every process
+repeats for the same deterministic netlist.  The walk's *outputs* are
+plain integer tensors — per-group ``inst_idx`` / ``in_ids`` /
+``out_ids`` tables — which this module publishes once in the parent
+and hydrates zero-copy in workers.
+
+Keying and verification
+-----------------------
+Hashing a module's full content costs about as much as building the
+view, so the content key (:func:`netview_content_key`) is computed on
+the **publisher** side only, where it amortizes over every attaching
+worker; the segment name is ``repro-nv-<first 12 hex digits>``.
+An attaching worker cannot afford the full hash per lookup, so
+:func:`try_attach_net_view` matches on a structural signature —
+module name, net count, instance count, the exact net-name list, and
+the per-cell-type instance counts — and then *spot-checks* the pin
+tables: a deterministic sample of instances is re-derived from the
+live module and compared against the attached rows.  A mismatch in
+any check is a silent miss (the worker builds locally).  The blob
+digest in :mod:`repro.shm.blob` separately guarantees the bytes are
+exactly what the publisher wrote.
+
+``net_view()`` integration: :func:`install_attachments` arms a
+process-global registry (the batch worker initializer does this with
+the names its parent published); while armed, every
+:func:`repro.rtl.netview.net_view` cache miss probes the registry
+before walking the module.  With the registry empty the hook costs
+one ``None`` check.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import pickle
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..tech.stdcells import StdCellLibrary
+from .blob import ShmFormatError, attach_blob, publish_blob
+from .tensors import pack_tensors, unpack_tensors
+
+#: How many instances the attach path re-derives and compares against
+#: the published tables (deterministically spread over the module).
+_SPOT_CHECK = 256
+
+#: Armed by :func:`install_attachments`: segment names available for
+#: attach in this process, or ``None`` when the hook is disarmed.
+_ATTACHMENTS: Optional[List[str]] = None
+
+
+def netview_segment_name(key: str) -> str:
+    return f"repro-nv-{key[:12]}"
+
+
+def netview_content_key(module, library: StdCellLibrary) -> str:
+    """Full content hash of (module connectivity, library identity).
+
+    Costs roughly one view compilation — publisher-side only.
+    """
+    buf = io.BytesIO()
+    pickler = pickle.Pickler(buf, protocol=4)
+    pickler.fast = True
+    pickler.dump(
+        (
+            module.name,
+            list(module.nets),
+            [
+                (inst.name, inst.ref, sorted(inst.conn.items()))
+                for inst in module.instances
+            ],
+            sorted(library.names),
+        )
+    )
+    return hashlib.sha256(buf.getvalue()).hexdigest()
+
+
+def _signature(module) -> dict:
+    """Cheap structural identity used for attach-time matching."""
+    counts: Dict[str, int] = {}
+    for inst in module.instances:
+        ref = inst.ref
+        counts[ref] = counts.get(ref, 0) + 1
+    return {
+        "module": module.name,
+        "n_instances": len(module.instances),
+        "ref_counts": sorted(counts.items()),
+    }
+
+
+def netview_tensors(view) -> tuple:
+    """Flatten a compiled view into (meta, arrays).
+
+    The group matrices ship as raw int64 tensors (hydrated zero-copy);
+    the per-instance ``in_ids``/``out_ids`` tuple rows additionally
+    ship as one pickle blob — ``pickle.loads`` rebuilds 30k+ tuples at
+    C speed, several times faster than re-deriving them from the group
+    tables in Python.  The pickle only ever contains tuples of ints,
+    and the enclosing blob's sha256 guards its integrity.
+    """
+    meta = {
+        "kind": "netview",
+        "net_names": view.net_names,
+        "groups": [
+            {
+                "cell": g.cell.name,
+                "n": len(g),
+                "n_in": g.in_ids.shape[1] if g.in_ids.ndim == 2 else 0,
+                "n_out": g.out_ids.shape[1] if g.out_ids.ndim == 2 else 0,
+            }
+            for g in view.groups
+        ],
+        "signature": _signature(view.module),
+    }
+    rows = pickle.dumps(
+        (view.in_ids, view.out_ids), protocol=pickle.HIGHEST_PROTOCOL
+    )
+    arrays = {"rows": np.frombuffer(rows, dtype=np.uint8)}
+    for i, g in enumerate(view.groups):
+        arrays[f"g{i}_inst"] = g.inst_idx
+        arrays[f"g{i}_in"] = g.in_ids
+        arrays[f"g{i}_out"] = g.out_ids
+    return meta, arrays
+
+
+def publish_net_view(view, key: Optional[str] = None) -> Optional[str]:
+    """Parent-side: publish one compiled view's integer tables.
+
+    ``key`` defaults to the full content hash.  Returns the segment
+    name (hand it to :func:`install_attachments` in workers), or
+    ``None`` when publishing failed.
+    """
+    if key is None:
+        key = netview_content_key(view.module, view.library)
+    meta, arrays = netview_tensors(view)
+    try:
+        return publish_blob(
+            netview_segment_name(key), pack_tensors(meta, arrays)
+        )
+    except Exception:
+        return None
+
+
+def install_attachments(names: Sequence[str]) -> None:
+    """Arm the worker-side ``net_view()`` probe with published segment
+    names.  Non-netview names are tolerated (skipped on probe), so the
+    batch engine can pass its whole published-segment list through."""
+    global _ATTACHMENTS
+    nv = [n for n in names if n.startswith("repro-nv-")]
+    _ATTACHMENTS = nv if nv else None
+
+
+def attachments_installed() -> List[str]:
+    return list(_ATTACHMENTS or ())
+
+
+def _hydrate(module, library: StdCellLibrary, meta: dict, arrays: dict):
+    """Build a NetView around attached tables, skipping the walk.
+
+    The group matrices are the zero-copy attached arrays; the
+    per-instance pin rows come from the published pickle blob and the
+    per-instance cell list from an object-array scatter over the group
+    index tables — all C-level, no per-instance Python loop.
+    """
+    from ..rtl.netview import CellGroup, NetView
+
+    view = NetView.__new__(NetView)
+    view.module = module
+    view.library = library
+    view.revision = module.revision
+    names = meta["net_names"]
+    view.net_names = names
+    view.net_id = {name: i for i, name in enumerate(names)}
+    n_inst = len(module.instances)
+    in_ids, out_ids = pickle.loads(arrays["rows"])
+    if len(in_ids) != n_inst or len(out_ids) != n_inst:
+        raise ValueError("shm netview: row count mismatch")
+    cells_arr = np.empty(n_inst, dtype=object)
+    groups = []
+    for i, g in enumerate(meta["groups"]):
+        cell = library.cell(g["cell"])
+        inst_idx = arrays[f"g{i}_inst"]
+        group = CellGroup.__new__(CellGroup)
+        group.cell = cell
+        group.inst_idx = inst_idx
+        group.in_ids = arrays[f"g{i}_in"].reshape(len(inst_idx), g["n_in"])
+        group.out_ids = arrays[f"g{i}_out"].reshape(
+            len(inst_idx), g["n_out"]
+        )
+        groups.append(group)
+        cells_arr[inst_idx] = cell
+    cells: List[object] = cells_arr.tolist()
+    if n_inst and any(c is None for c in cells):
+        raise ValueError("shm netview: group tables do not cover module")
+    view.cells = cells
+    view.in_ids = in_ids
+    view.out_ids = out_ids
+    view.groups = groups
+    view.derived = {}
+    return view
+
+
+def _spot_check(module, view) -> bool:
+    """Re-derive a deterministic sample of instances from the live
+    module and compare against the hydrated tables."""
+    n = len(module.instances)
+    if n == 0:
+        return True
+    step = max(1, n // _SPOT_CHECK)
+    nid = view.net_id
+    instances = module.instances
+    for idx in range(0, n, step):
+        inst = instances[idx]
+        cell = view.cells[idx]
+        if cell is None or cell.name != inst.ref:
+            return False
+        conn = inst.conn
+        want_in = tuple(
+            nid.get(conn[p], -2) if p in conn else -1
+            for p in cell.input_caps_ff
+        )
+        if want_in != view.in_ids[idx]:
+            return False
+        want_out = tuple(
+            nid.get(conn[p], -2) if p in conn else -1 for p in cell.outputs
+        )
+        if want_out != view.out_ids[idx]:
+            return False
+    return True
+
+
+def try_attach_net_view(module, library: StdCellLibrary):
+    """Probe the armed attachments for this (module, library); returns
+    a hydrated view or ``None`` (caller builds locally).
+
+    Every failure mode — no registry, no match, stale segment, failed
+    spot check — is a silent miss.
+    """
+    names = _ATTACHMENTS
+    if not names:
+        return None
+    sig = None
+    for name in names:
+        payload = attach_blob(name)
+        if payload is None:
+            continue
+        try:
+            meta, arrays = unpack_tensors(payload)
+        except ShmFormatError:
+            continue
+        if meta.get("kind") != "netview":
+            continue
+        if sig is None:
+            sig = _signature(module)
+        want = meta.get("signature", {})
+        if (
+            want.get("module") != sig["module"]
+            or want.get("n_instances") != sig["n_instances"]
+            or [tuple(rc) for rc in want.get("ref_counts", ())]
+            != sig["ref_counts"]
+            or meta.get("net_names") != list(module.nets)
+        ):
+            continue
+        try:
+            view = _hydrate(module, library, meta, arrays)
+        except (KeyError, ValueError, IndexError):
+            continue
+        if _spot_check(module, view):
+            return view
+    return None

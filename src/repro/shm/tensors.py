@@ -1,0 +1,80 @@
+"""Named-ndarray payloads for shared-memory blobs.
+
+A payload is a JSON *meta* document plus any number of named ndarrays,
+packed as::
+
+    uint32 meta length | meta JSON (utf-8) | array bytes ...
+
+The meta document carries an ``__arrays__`` table of
+``name -> [dtype, shape, offset, nbytes]`` (offsets relative to the
+start of the array region, each array 8-byte aligned).  Hydration wraps
+the attached buffer with ``np.frombuffer`` — no copy — and marks the
+views read-only, since many attached processes share the same physical
+pages.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Dict, Tuple
+
+import numpy as np
+
+from .blob import ShmFormatError
+
+_LEN = struct.Struct("<I")
+_ALIGN = 8
+
+
+def pack_tensors(meta: dict, arrays: Dict[str, np.ndarray]) -> bytes:
+    """Serialize ``meta`` + ``arrays`` into one payload blob."""
+    index = {}
+    parts = []
+    offset = 0
+    for name, arr in arrays.items():
+        arr = np.ascontiguousarray(arr)
+        pad = (-offset) % _ALIGN
+        if pad:
+            parts.append(b"\0" * pad)
+            offset += pad
+        index[name] = [arr.dtype.str, list(arr.shape), offset, arr.nbytes]
+        parts.append(arr.tobytes())
+        offset += arr.nbytes
+    doc = dict(meta)
+    doc["__arrays__"] = index
+    meta_bytes = json.dumps(doc, separators=(",", ":")).encode("utf-8")
+    return _LEN.pack(len(meta_bytes)) + meta_bytes + b"".join(parts)
+
+
+def unpack_tensors(
+    payload: memoryview,
+) -> Tuple[dict, Dict[str, np.ndarray]]:
+    """Hydrate a payload into (meta, zero-copy read-only arrays).
+
+    The returned arrays alias ``payload`` — they stay valid exactly as
+    long as the underlying shared-memory mapping does.
+    """
+    if len(payload) < _LEN.size:
+        raise ShmFormatError("tensor payload: too small")
+    (meta_len,) = _LEN.unpack_from(payload, 0)
+    body = _LEN.size + meta_len
+    if body > len(payload):
+        raise ShmFormatError("tensor payload: truncated meta")
+    try:
+        meta = json.loads(bytes(payload[_LEN.size:body]).decode("utf-8"))
+    except ValueError as exc:
+        raise ShmFormatError(f"tensor payload: bad meta ({exc})") from None
+    index = meta.pop("__arrays__", {})
+    region = payload[body:]
+    arrays: Dict[str, np.ndarray] = {}
+    for name, (dtype, shape, offset, nbytes) in index.items():
+        if offset + nbytes > len(region):
+            raise ShmFormatError(f"tensor payload: array {name} out of range")
+        arr = np.frombuffer(
+            region, dtype=np.dtype(dtype), count=nbytes // np.dtype(dtype).itemsize,
+            offset=offset,
+        ).reshape(shape)
+        arr.flags.writeable = False
+        arrays[name] = arr
+    return meta, arrays

@@ -67,6 +67,34 @@ class TestFlow:
         ):
             assert key in s and s[key] > 0
 
+    def test_force_reimplement_matches_cached(self, implemented, small16):
+        """A forced warm re-implement replays the arena and must agree
+        with the memoized implementation bit-for-bit."""
+        import numpy as np
+
+        from repro.compiler.flow import ImplementSession
+
+        session = ImplementSession(spec=small16)
+        arch = implemented.architecture
+        cold = session.implement(arch)
+        warm = session.implement(arch, force=True)
+        assert warm is not cold
+        assert warm.min_period_ns == cold.min_period_ns
+        assert warm.timing.wns_ns == cold.timing.wns_ns
+        assert warm.power.total_mw == cold.power.total_mw
+        assert warm.drc.clean and warm.lvs.clean
+        assert np.array_equal(
+            warm.placement.cells.coord_arrays()[1],
+            cold.placement.cells.coord_arrays()[1],
+        )
+        # Route reuse hands back the same estimate object so STA's
+        # identity-keyed caches stay warm.
+        assert warm.routing is cold.routing
+        flat, _, _ = session.netlist(arch)
+        stats = session._arena.stats(flat, session.library)
+        assert stats["place_replays"] >= 1
+        assert stats["route_reuses"] >= 1
+
     def test_estimate_vs_implementation_consistency(self, implemented):
         """LUT estimate and signoff must agree within calibration bands
         (the searcher would otherwise optimize the wrong thing)."""

@@ -1,5 +1,6 @@
 """Layout substrate: geometry, SDP placement, routing, DRC, LVS, GDS."""
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -182,3 +183,63 @@ class TestGDS:
         truncated = "\n".join(text.splitlines()[:-1])
         with pytest.raises(LayoutError):
             read_gds_json(truncated)
+
+
+class TestLayoutArena:
+    def test_warm_replay_bit_identical(self, placed_small, library):
+        from repro.layout.arena import LayoutArena
+
+        flat, reference = placed_small
+        arena = LayoutArena()
+        cold = arena.place(flat, library)
+        warm = arena.place(flat, library)
+        rn, rc = reference.cells.coord_arrays()
+        for placement in (cold, warm):
+            names, coords = placement.cells.coord_arrays()
+            assert names == rn
+            assert np.array_equal(coords, rc)
+            assert placement.outline == reference.outline
+        stats = arena.stats(flat, library)
+        assert stats["place_scans"] == 1
+        assert stats["place_replays"] == 1
+
+    def test_route_reused_only_when_placement_matches(
+        self, placed_small, library, process
+    ):
+        from repro.layout.arena import LayoutArena
+
+        flat, _ = placed_small
+        arena = LayoutArena()
+        p1 = arena.place(flat, library)
+        r1 = arena.route(flat, p1, library, process)
+        p2 = arena.place(flat, library)
+        r2 = arena.route(flat, p2, library, process)
+        # Bit-identical replay -> the same estimate object, whose
+        # memoized wire_load_fn keeps STA identity caches warm.
+        assert r2 is r1
+        assert r1.wire_load_fn() is r1.wire_load_fn()
+
+        # A genuinely different placement must be re-estimated.
+        import dataclasses
+
+        nudged = dataclasses.replace(
+            p2,
+            cells=type(p2.cells)(
+                p2.cells.coord_arrays()[0],
+                p2.cells.coord_arrays()[1] + 0.1,
+            ),
+        )
+        r3 = arena.route(flat, nudged, library, process)
+        assert r3 is not r1
+        assert arena.stats(flat, library)["route_computes"] == 2
+
+    def test_params_change_invalidates_entry(self, placed_small, library):
+        from repro.layout.arena import LayoutArena
+
+        flat, _ = placed_small
+        arena = LayoutArena()
+        arena.place(flat, library, SDPParams())
+        wider = arena.place(flat, library, SDPParams(aspect=2.4))
+        # The second call must not replay the first params' floorplan.
+        assert arena.stats(flat, library)["place_scans"] == 1
+        assert wider is not None

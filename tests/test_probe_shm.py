@@ -1,0 +1,15 @@
+"""Picklable probe functions for the shm pool tests (see test_shm.py).
+
+Lives in its own module so :meth:`repro.batch.engine.BatchCompiler.map`
+can ship the function to spawn-started pool workers by qualified name.
+Not a test module despite the prefix — it defines no tests.
+"""
+
+
+def scl_source(_item):
+    """What the worker's default SCL resolved from ('shm' proves the
+    zero-copy attach happened before the first job)."""
+    from repro.scl.library import default_scl, default_scl_source
+
+    default_scl()  # resolve if the initializer somehow has not
+    return default_scl_source()

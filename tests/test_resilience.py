@@ -592,11 +592,18 @@ class TestResume:
 class TestWorkerWarnings:
     def test_initializer_warns_when_preload_fails(self, monkeypatch):
         import repro.scl.library as library
+        import repro.shm.scl as shm_scl
 
         def broken_scl(*args, **kwargs):
             raise OSError("cache dir vanished")
 
         monkeypatch.setattr(library, "default_scl", broken_scl)
+        # A published shm segment (e.g. from an earlier test in this
+        # process) would satisfy the worker without touching the broken
+        # resolver — force the attach to miss.
+        monkeypatch.setattr(
+            shm_scl, "attach_default_scl", lambda *a, **k: None
+        )
         with pytest.warns(RuntimeWarning, match="could not preload"):
             _worker_initializer()
 

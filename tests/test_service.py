@@ -233,6 +233,63 @@ class TestResultCacheBudget:
         assert cache.enforce_budget() == 0
         assert cache.entry_count() == 5
 
+    def test_recency_touch_failure_uses_fallback_map(
+        self, tmp_path, monkeypatch
+    ):
+        """A hit whose mtime refresh fails (read-only store) must not
+        look *oldest* to the LRU sweep: the failure is counted, warned
+        once per cache, and the in-process recency fallback keeps the
+        hot record out of the eviction queue for the session."""
+        import warnings as warnings_mod
+
+        cache = ResultCache(tmp_path, budget_mb=0.01)  # 10 kB
+        keys = _keys(3)
+        for i, key in enumerate(keys):
+            _put_sized(cache, key, i, size=3000)
+            os.utime(cache._path(key), (1000.0 + i, 1000.0 + i))
+
+        def _refuse(path, *args, **kwargs):
+            raise PermissionError("read-only result store")
+
+        monkeypatch.setattr(os, "utime", _refuse)
+        # keys[0] is the on-disk oldest; hit it with the touch broken.
+        with pytest.warns(RuntimeWarning, match="recency"):
+            assert cache.get(keys[0]) is not None
+        assert cache.stats.recency_touch_failures == 1
+        # Warn once per cache, like the quarantine path.
+        with warnings_mod.catch_warnings():
+            warnings_mod.simplefilter("error")
+            assert cache.get(keys[0]) is not None
+        assert cache.stats.recency_touch_failures == 2
+        _put_sized(cache, _keys(4)[3], 3, size=3000)  # now over budget
+        cache.enforce_budget()
+        # Without the fallback keys[0] (oldest mtime) would be evicted
+        # first despite being the hottest record.
+        assert cache.get(keys[0]) is not None
+        assert cache.get(keys[1]) is None
+        assert cache.occupancy()["recency_touch_failures"] >= 2
+
+    def test_recency_fallback_cleared_when_touch_recovers(
+        self, tmp_path, monkeypatch
+    ):
+        """Once the store is writable again, disk mtimes are
+        authoritative and the stale fallback entry is dropped."""
+        cache = ResultCache(tmp_path, budget_mb=0.01)
+        key = _keys(1)[0]
+        _put_sized(cache, key, 0, size=1000)
+        real_utime = os.utime
+
+        def _refuse(path, *args, **kwargs):
+            raise PermissionError("transient")
+
+        monkeypatch.setattr(os, "utime", _refuse)
+        with pytest.warns(RuntimeWarning, match="recency"):
+            cache.get(key)
+        assert key in cache._recency_fallback
+        monkeypatch.setattr(os, "utime", real_utime)
+        cache.get(key)
+        assert key not in cache._recency_fallback
+
 
 # -- JobQueue scheduling ------------------------------------------------------
 
@@ -265,6 +322,47 @@ class TestJobQueue:
             assert stats["submitted"] == 2
             assert stats["coalesced"] == 1
             assert stats["compiled"] == 1
+        finally:
+            q.close()
+
+    def test_durations_survive_wall_clock_steps(self, monkeypatch):
+        """An NTP step moving the wall clock backwards mid-job must not
+        produce negative durations: ``queued_s``/``run_s``/``uptime_s``
+        are monotonic interval math, wall timestamps are display-only."""
+        import repro.service.queue as qmod
+
+        q = JobQueue(use_cache=False, start=False)
+        try:
+            snap = q.submit(fast_spec(), options=FAST)
+            assert snap["queued_s"] >= 0 and snap["run_s"] is None
+            entry = q._jobs[snap["id"]]
+            entry.mark_started()
+            # NTP steps the wall clock back an hour mid-job.
+            real_time = time.time
+            monkeypatch.setattr(
+                qmod.time, "time", lambda: real_time() - 3600.0
+            )
+            with q._lock:
+                q._finish(entry, "ok", {"status": "ok"})
+            final = q.job(snap["id"])
+            # The skew is visible in the display metadata...
+            assert final["finished"] < final["submitted"]
+            # ...but every derived interval stays sane.
+            assert final["run_s"] is not None and final["run_s"] >= 0
+            assert final["queued_s"] >= 0
+            assert q.stats()["uptime_s"] >= 0
+        finally:
+            q.close()
+
+    def test_cached_hit_snapshot_reports_zero_durations(self):
+        store = MemoryResultStore()
+        key = FAST.compile_job(fast_spec()).key()
+        store.put(key, {"status": "ok"})
+        q = JobQueue(store=store, start=False)
+        try:
+            snap = q.submit(fast_spec(), options=FAST)
+            assert snap["cached"] and snap["status"] == "ok"
+            assert snap["queued_s"] == 0.0 and snap["run_s"] == 0.0
         finally:
             q.close()
 

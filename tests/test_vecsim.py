@@ -37,9 +37,8 @@ def _assert_all_nets_equal(
 ) -> None:
     """Every net of the module must agree between the vectorized lane
     and the scalar reference."""
-    vec._ensure()
     view = vec._view
-    lanes = unpack_lanes(vec._values[: view.n_nets], vec.batch)
+    lanes = vec.lanes_snapshot()
     for net, nid in view.net_id.items():
         got = int(lanes[nid, lane])
         want = scalar.values[net]
@@ -361,3 +360,116 @@ class TestSemantics:
         got = vec.net("y")
         assert int(got[0]) == scalar.net("y")
         assert (got == (stim.sum(axis=0) >= 2)).all()
+
+
+class TestTailWordGuard:
+    """Batch sizes that don't fill the last uint64 word leave unused
+    high bits in every packed row.  The engine's contract: those bits
+    never reach an observable — not through forces, bulk drives,
+    sequential state, scalar broadcasts (which set whole words to all
+    ones), or ``unpack_lanes`` — and a ragged batch agrees lane for
+    lane with a word-aligned batch under identical stimulus."""
+
+    @pytest.mark.parametrize("batch", [5, 63, 97, 130])
+    def test_ragged_batch_matches_word_aligned_reference(self, batch):
+        tree_w, k = 4, 3
+        module = generate_shift_adder(tree_w, k)
+        acc_w = accumulator_width(tree_w, k)
+        ref_batch = 256  # word-aligned reference, first `batch` lanes shared
+        vec = VecSim(module, LIB, batch)
+        ref = VecSim(module, LIB, ref_batch)
+        rng = np.random.default_rng(SEED + 7)
+        internal = next(n for n in module.nets if n not in module.ports)
+
+        def drive(name, bits):
+            vec.set_input(name, bits)
+            padded = np.zeros(ref_batch, dtype=bits.dtype)
+            padded[:batch] = bits
+            ref.set_input(name, padded)
+
+        vec.reset_state(1)  # all-ones state: the tail-word stress case
+        ref.reset_state(1)
+        for cyc in range(5):
+            for i in range(tree_w):
+                drive(f"t[{i}]", rng.integers(0, 2, size=batch))
+            ctl = 1 if cyc == 0 else 0
+            drive("neg", np.full(batch, ctl))
+            drive("clear", np.full(batch, ctl))
+            if cyc == 2:  # forced lanes mid-sequence
+                forced = rng.integers(0, 2, size=batch)
+                vec.force(internal, forced)
+                padded = np.zeros(ref_batch, dtype=forced.dtype)
+                padded[:batch] = forced
+                ref.force(internal, padded)
+            if cyc == 4:
+                vec.release(internal)
+                ref.release(internal)
+            vec.clock()
+            ref.clock()
+            snap = vec.lanes_snapshot()
+            ref_snap = ref.lanes_snapshot()
+            assert snap.shape == (vec._view.n_nets, batch)
+            assert set(np.unique(snap)) <= {0, 1}
+            assert (snap == ref_snap[:, :batch]).all(), f"cycle {cyc}"
+        accs = vec.bus_int("acc", acc_w)
+        assert accs.shape == (batch,)
+        assert (accs == ref.bus_int("acc", acc_w)[:batch]).all()
+
+    @pytest.mark.parametrize("batch", [3, 65, 127])
+    def test_scalar_broadcast_and_drive_nets_tail(self, batch):
+        """Scalar broadcasts write all-ones words; drive_nets' scalar
+        path does the same per net.  Neither may leak past the batch."""
+        module, stats = generate_adder_tree(8, "rca")
+        width = stats.output_width
+        vec = VecSim(module, LIB, batch)
+        ids = np.asarray(
+            [vec.net_id(f"in[{i}]") for i in range(8)], dtype=np.int64
+        )
+        weights = 1 << np.arange(width, dtype=np.int64)
+
+        def unsigned_sum():
+            return vec.bus("sum", width).astype(np.int64) @ weights
+
+        vec.drive_nets(ids, np.ones(8, dtype=np.uint8))  # scalar path
+        for i in range(8):
+            got = vec.net(f"in[{i}]")
+            assert got.shape == (batch,) and (got == 1).all()
+        total = unsigned_sum()
+        assert (total == 8).all() and total.shape == (batch,)
+        vec.set_input("in[0]", 0)  # scalar broadcast of zero
+        assert (unsigned_sum() == 7).all()
+        vec.set_input("in[0]", 1)  # and of one (all-ones words)
+        assert (unsigned_sum() == 8).all()
+        # unpack_lanes never returns bits past the batch.
+        packed = pack_lanes(np.ones(batch, dtype=np.uint8), vec.words)
+        assert unpack_lanes(packed, batch).shape == (batch,)
+        assert (unpack_lanes(packed, batch) == 1).all()
+
+    def test_sequential_state_tail_isolation(self):
+        """reset_state(1) fills whole state words with ones; the lanes
+        past the batch must not affect Q observables or propagate into
+        downstream sums."""
+        tree_w, k = 4, 2
+        module = generate_shift_adder(tree_w, k)
+        acc_w = accumulator_width(tree_w, k)
+        batch = 7  # one ragged word
+        vec = VecSim(module, LIB, batch)
+        scalars = [GateSimulator(module, LIB) for _ in range(batch)]
+        vec.reset_state(1)
+        for sim in scalars:
+            sim.reset_state(1)
+        rng = np.random.default_rng(SEED + 8)
+        for cyc in range(4):
+            bits = rng.integers(0, 2, size=(tree_w, batch))
+            for i in range(tree_w):
+                _drive_both(vec, scalars, f"t[{i}]", bits[i])
+            _drive_both(vec, scalars, "neg", np.zeros(batch, dtype=np.int64))
+            _drive_both(vec, scalars, "clear", np.zeros(batch, dtype=np.int64))
+            vec.clock()
+            for sim in scalars:
+                sim.clock()
+            for lane, sim in enumerate(scalars):
+                _assert_all_nets_equal(vec, sim, lane, f"tail-seq cyc{cyc}")
+        accs = vec.bus_int("acc", acc_w)
+        for lane, sim in enumerate(scalars):
+            assert int(accs[lane]) == sim.bus_int("acc", acc_w)
